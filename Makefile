@@ -1,0 +1,35 @@
+GO ?= go
+
+.PHONY: all build test vet bench experiments examples cover clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table/figure of the paper's evaluation.
+experiments:
+	$(GO) run ./cmd/daelite-bench
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/multicast
+	$(GO) run ./examples/usecase-switch
+	$(GO) run ./examples/multipath
+	$(GO) run ./examples/memorymap
+	$(GO) run ./examples/videopipeline
+
+cover:
+	$(GO) test -cover ./...
+
+clean:
+	$(GO) clean ./...

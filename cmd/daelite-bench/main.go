@@ -1,0 +1,87 @@
+// Command daelite-bench regenerates every table, figure and quantified
+// claim of the paper's evaluation section and prints them in the paper's
+// row/series format. Use -experiment to run a single one (by ID, e.g. E3,
+// or by artifact substring, e.g. "Table III").
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"daelite/internal/experiments"
+)
+
+func main() {
+	var which, outPath string
+	var listOnly bool
+	flag.StringVar(&which, "experiment", "", "run only the experiment with this ID (E1..E14, A1..A9) or artifact substring")
+	flag.BoolVar(&listOnly, "list", false, "list experiments without running them")
+	flag.StringVar(&outPath, "o", "", "also write the output to this file")
+	flag.Parse()
+	var out io.Writer = os.Stdout
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = io.MultiWriter(os.Stdout, f)
+	}
+
+	if listOnly {
+		fmt.Println("E1   Table I — feature comparison")
+		fmt.Println("E2   Table II — area reduction")
+		fmt.Println("E3   Table III — connection set-up time")
+		fmt.Println("E4   traversal latency (2 vs 3 cycles per hop)")
+		fmt.Println("E5   header overhead (0% vs 11-33%)")
+		fmt.Println("E6   configuration slot bandwidth loss (6.25% at 16 slots)")
+		fmt.Println("E7   multipath bandwidth gain (~24%)")
+		fmt.Println("E8   scheduling latency vs slot size")
+		fmt.Println("E9   Fig. 6 path set-up example")
+		fmt.Println("E10  Fig. 7 multicast tree vs separate connections")
+		fmt.Println("E11  contention-free routing invariant (Fig. 1/2)")
+		fmt.Println("E12  critical path / maximum frequency")
+		fmt.Println("E13  use-case switching under traffic")
+		fmt.Println("E14  attained vs reserved bandwidth under saturation")
+		fmt.Println("A1   ablation: TDM wheel size")
+		fmt.Println("A2   ablation: configuration cool-down")
+		fmt.Println("A3   ablation: host placement / tree depth")
+		fmt.Println("A4   ablation: NI queue depth / credit round-trip")
+		fmt.Println("A5   ablation: model-vs-model router area")
+		fmt.Println("A6   ablation: pipelined (long/mesochronous) links")
+		fmt.Println("A7   ablation: energy per delivered word")
+		fmt.Println("A8   ablation: slot placement (dimensioning flow)")
+		fmt.Println("A9   ablation: partial-path reconfiguration")
+		return
+	}
+
+	results, err := experiments.All()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	for _, r := range results {
+		if which != "" && r.ID != which && !strings.Contains(strings.ToLower(r.Artifact), strings.ToLower(which)) {
+			continue
+		}
+		fmt.Fprintf(out, "==== %s — %s ====\n\n", r.ID, r.Artifact)
+		fmt.Fprintln(out, r.Text)
+		if len(r.Metrics) > 0 {
+			keys := make([]string, 0, len(r.Metrics))
+			for k := range r.Metrics {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			fmt.Fprintln(out, "metrics:")
+			for _, k := range keys {
+				fmt.Fprintf(out, "  %-32s %g\n", k, r.Metrics[k])
+			}
+		}
+		fmt.Fprintln(out)
+	}
+}

@@ -1,0 +1,78 @@
+// Command daelite-dimension runs the network dimensioning flow:
+// application-level requirements (bandwidth in words/cycle, optional
+// worst-case latency bounds) go in, the smallest feasible TDM wheel and a
+// contention-free slot schedule with proven guarantees come out.
+//
+// Requirements are given as sx,sy-dx,dy:bandwidth[@maxlatency], e.g.
+//
+//	daelite-dimension -mesh 3x3 0,0-2,2:0.25@40 1,0-1,2:0.0625 2,0-0,2:0.3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"daelite/internal/dimension"
+	"daelite/internal/report"
+	"daelite/internal/topology"
+)
+
+func main() {
+	var meshSpec string
+	flag.StringVar(&meshSpec, "mesh", "4x4", "mesh dimensions WxH")
+	flag.Parse()
+	var w, h int
+	if _, err := fmt.Sscanf(meshSpec, "%dx%d", &w, &h); err != nil {
+		fatal("bad -mesh %q: %v", meshSpec, err)
+	}
+	m, err := topology.NewMesh(topology.MeshSpec{Width: w, Height: h, NIsPerRouter: 1})
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	var reqs []dimension.Requirement
+	for i, arg := range flag.Args() {
+		var sx, sy, dx, dy int
+		var bw float64
+		var lat int
+		n, _ := fmt.Sscanf(arg, "%d,%d-%d,%d:%f@%d", &sx, &sy, &dx, &dy, &bw, &lat)
+		if n < 5 {
+			fatal("bad requirement %q (want sx,sy-dx,dy:bandwidth[@maxlatency])", arg)
+		}
+		reqs = append(reqs, dimension.Requirement{
+			Name:       fmt.Sprintf("req%d", i),
+			Src:        m.NI(sx, sy, 0),
+			Dst:        m.NI(dx, dy, 0),
+			Bandwidth:  bw,
+			MaxLatency: lat,
+		})
+	}
+	if len(reqs) == 0 {
+		fatal("no requirements given")
+	}
+
+	res, err := dimension.Dimension(m.Graph, reqs, dimension.Config{})
+	if err != nil {
+		fatal("%v", err)
+	}
+	fmt.Printf("smallest feasible wheel: %d slots\n\n", res.Wheel)
+	t := report.NewTable("Dimensioned schedule",
+		"Requirement", "Bandwidth asked", "Latency bound", "Slots", "Injection slots", "Bandwidth granted", "WC latency")
+	for _, a := range res.Assignments {
+		bound := "-"
+		if a.Requirement.MaxLatency > 0 {
+			bound = fmt.Sprint(a.Requirement.MaxLatency)
+		}
+		t.AddRow(a.Requirement.Name,
+			fmt.Sprintf("%.4f", a.Requirement.Bandwidth), bound,
+			a.Slots, fmt.Sprint(a.Alloc.Paths[0].InjectSlots.Slots()),
+			fmt.Sprintf("%.4f", a.GuaranteedBandwidth), a.WorstCaseLatency)
+	}
+	fmt.Println(t.Render())
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "daelite-dimension: "+format+"\n", args...)
+	os.Exit(1)
+}

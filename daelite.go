@@ -1,0 +1,80 @@
+// Package daelite is a cycle-accurate implementation of the daelite
+// network on chip — "A TDM NoC supporting QoS, multicast, and fast
+// connection set-up" (Stefan, Molnos, Ambrose, Goossens; DATE 2012) — as a
+// Go library, together with the aelite baseline it is evaluated against,
+// the contention-free slot-allocation flow, an analytical area/frequency
+// model, and a benchmark harness regenerating every table and figure of
+// the paper's evaluation.
+//
+// The package re-exports the library's primary entry points; the
+// underlying packages live in internal/ and are documented individually:
+//
+//	internal/core       platform assembly and the connection API
+//	internal/router     the daelite router (blind TDM switching, 2-cycle hops)
+//	internal/ni         the network interface (queues, credits, slot tables)
+//	internal/configtree the host configuration module and broadcast tree
+//	internal/cfgproto   the 7-bit configuration wire format
+//	internal/alloc      contention-free slot allocation (single/multi-path, multicast)
+//	internal/aelite     the aelite baseline (source routing, headers, 3-cycle hops)
+//	internal/area       the Table II gate-equivalent area model
+//	internal/traffic    workload generators and latency probes
+//	internal/analysis   analytical QoS bounds
+//
+// Quickstart:
+//
+//	p, err := daelite.NewMeshPlatform(daelite.MeshSpec{Width: 2, Height: 2, NIsPerRouter: 1},
+//		daelite.DefaultParams(), 0, 0)
+//	conn, err := p.Open(daelite.ConnectionSpec{
+//		Src: p.Mesh.NI(0, 0, 0), Dst: p.Mesh.NI(1, 1, 0), SlotsFwd: 2,
+//	})
+//	err = p.AwaitOpen(conn, 10_000)
+//	p.NI(conn.Spec.Src).Send(conn.SrcChannel, 0xCAFE)
+//	p.Run(64)
+//	word, ok := p.NI(conn.Spec.Dst).Recv(conn.DstChannel)
+package daelite
+
+import (
+	"daelite/internal/core"
+	"daelite/internal/phit"
+	"daelite/internal/topology"
+)
+
+// Word is one 32-bit payload word.
+type Word = phit.Word
+
+// Params are the platform-wide hardware parameters (slot wheel size, slot
+// words, channel counts, queue depths, configuration cool-down).
+type Params = core.Params
+
+// Platform is a fully wired daelite SoC simulation.
+type Platform = core.Platform
+
+// Connection is a live guaranteed-service connection.
+type Connection = core.Connection
+
+// ConnectionSpec describes a requested connection (unicast, multipath or
+// multicast).
+type ConnectionSpec = core.ConnectionSpec
+
+// MeshSpec parameterizes the mesh topology.
+type MeshSpec = topology.MeshSpec
+
+// NodeID identifies a network element.
+type NodeID = topology.NodeID
+
+// Connection lifecycle states.
+const (
+	Opening = core.Opening
+	Open    = core.Open
+	Closed  = core.Closed
+)
+
+// DefaultParams returns the paper's running-example parameters: 8 slots
+// of 2 words, 6-bit credits, a 4-cycle configuration cool-down.
+func DefaultParams() Params { return core.DefaultParams() }
+
+// NewMeshPlatform builds a Width x Height mesh platform with the host IP
+// (which owns the configuration module) attached at (hostX, hostY).
+func NewMeshPlatform(spec MeshSpec, params Params, hostX, hostY int) (*Platform, error) {
+	return core.NewMeshPlatform(spec, params, hostX, hostY)
+}

@@ -1,0 +1,77 @@
+package daelite_test
+
+import (
+	"fmt"
+
+	"daelite"
+)
+
+// Example demonstrates the minimal end-to-end flow: build a platform,
+// open a guaranteed-service connection through the real configuration
+// tree, transfer a word.
+func Example() {
+	p, err := daelite.NewMeshPlatform(
+		daelite.MeshSpec{Width: 2, Height: 2, NIsPerRouter: 1},
+		daelite.DefaultParams(), 0, 0)
+	if err != nil {
+		panic(err)
+	}
+	conn, err := p.Open(daelite.ConnectionSpec{
+		Src: p.Mesh.NI(0, 0, 0), Dst: p.Mesh.NI(1, 1, 0), SlotsFwd: 2,
+	})
+	if err != nil {
+		panic(err)
+	}
+	if err := p.AwaitOpen(conn, 10_000); err != nil {
+		panic(err)
+	}
+	p.NI(conn.Spec.Src).Send(conn.SrcChannel, 0xCAFE)
+	p.Run(64)
+	d, ok := p.NI(conn.Spec.Dst).Recv(conn.DstChannel)
+	fmt.Printf("%v %#x\n", ok, uint32(d.Word))
+	// Output: true 0xcafe
+}
+
+// ExamplePlatform_Open_multicast opens a multicast tree: one source, two
+// destinations, identical streams.
+func ExamplePlatform_Open_multicast() {
+	p, err := daelite.NewMeshPlatform(
+		daelite.MeshSpec{Width: 3, Height: 3, NIsPerRouter: 1},
+		daelite.DefaultParams(), 0, 0)
+	if err != nil {
+		panic(err)
+	}
+	dsts := []daelite.NodeID{p.Mesh.NI(2, 0, 0), p.Mesh.NI(2, 2, 0)}
+	conn, err := p.Open(daelite.ConnectionSpec{
+		Src: p.Mesh.NI(0, 0, 0), Dsts: dsts, SlotsFwd: 2,
+	})
+	if err != nil {
+		panic(err)
+	}
+	if err := p.AwaitOpen(conn, 20_000); err != nil {
+		panic(err)
+	}
+	p.NI(conn.Spec.Src).Send(conn.SrcChannel, 0xBEEF)
+	p.Run(64)
+	for _, d := range dsts {
+		w, ok := p.NI(d).Recv(conn.DstChannels[d])
+		fmt.Printf("%v %#x\n", ok, uint32(w.Word))
+	}
+	// Output:
+	// true 0xbeef
+	// true 0xbeef
+}
+
+// ExampleConnection_SetupCycles shows the measured configuration time —
+// tens of cycles through the dedicated broadcast tree.
+func ExampleConnection_SetupCycles() {
+	p, _ := daelite.NewMeshPlatform(
+		daelite.MeshSpec{Width: 2, Height: 2, NIsPerRouter: 1},
+		daelite.DefaultParams(), 0, 0)
+	conn, _ := p.Open(daelite.ConnectionSpec{
+		Src: p.Mesh.NI(0, 0, 0), Dst: p.Mesh.NI(1, 0, 0), SlotsFwd: 1,
+	})
+	_ = p.AwaitOpen(conn, 10_000)
+	fmt.Println(conn.SetupCycles() < 200)
+	// Output: true
+}

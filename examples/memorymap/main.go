@@ -1,0 +1,101 @@
+// Memory-mapped platform: the full Fig. 3 stack — an IP issues bus
+// transactions on its local bus; the bus demultiplexes them by address
+// onto network connections; shells serialize them into messages; a remote
+// target shell applies them to a memory and returns read data. The bus
+// address map itself is configured over the NoC through the NI shell's
+// RegBus interface, exactly as the paper describes for "the buses adjacent
+// to the network".
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"daelite"
+	"daelite/internal/bus"
+	"daelite/internal/cfgproto"
+)
+
+func main() {
+	p, err := daelite.NewMeshPlatform(
+		daelite.MeshSpec{Width: 2, Height: 2, NIsPerRouter: 1},
+		daelite.DefaultParams(), 0, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cpu := p.Mesh.NI(0, 0, 0)
+	mem := p.Mesh.NI(1, 1, 0)
+
+	conn, err := p.Open(daelite.ConnectionSpec{Src: cpu, Dst: mem, SlotsFwd: 2, SlotsRev: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := p.AwaitOpen(conn, 10_000); err != nil {
+		log.Fatal(err)
+	}
+
+	// The initiator bus in front of the CPU NI; its address map is
+	// configured through the configuration tree (RegBus writes are
+	// deserialized by the NI shell into wide words).
+	amap := bus.NewAddressMap()
+	p.NI(cpu).SetBusConfigPort(amap)
+	cfgWord := bus.MapConfigWord(0x4000_0000, conn.SrcChannel)
+	var writes []cfgproto.RegWrite
+	for i := 0; i < 4; i++ {
+		shift := uint(7 * (3 - i))
+		writes = append(writes, cfgproto.RegWrite{
+			Element: int(cpu),
+			Reg:     cfgproto.RegSelect(cfgproto.RegBus, i),
+			Value:   uint8(cfgWord >> shift & 0x7F),
+		})
+	}
+	pkt, err := cfgproto.WriteRegPacket(writes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := p.Host.SubmitPacket(pkt); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := p.CompleteConfig(10_000); err != nil {
+		log.Fatal(err)
+	}
+	if ch, ok := amap.Lookup(0x4000_0040); !ok || ch != conn.SrcChannel {
+		log.Fatal("bus address map not configured over the NoC")
+	}
+	fmt.Printf("bus address map configured over the NoC: page 0x40000xxx -> channel %d\n", conn.SrcChannel)
+
+	initiator := bus.NewInitiator(p.Sim, "cpu-bus", p.NI(cpu), amap)
+	memory := bus.NewMemory()
+	target := bus.NewTargetShell(p.Sim, "mem-shell", p.NI(mem), memory)
+	target.WatchChannel(conn.DstChannel)
+
+	// CPU writes a cache line, then reads it back through the NoC.
+	line := []daelite.Word{0x11, 0x22, 0x33, 0x44}
+	if err := initiator.Issue(bus.Transaction{Kind: bus.Write, Addr: 0x4000_0040, Data: line}); err != nil {
+		log.Fatal(err)
+	}
+	p.Run(400)
+	w, r := target.Stats()
+	fmt.Printf("target shell applied %d writes, served %d reads\n", w, r)
+	if memory.ReadWord(0x4000_0048) != 0x33 {
+		log.Fatal("remote memory write failed")
+	}
+
+	if err := initiator.Issue(bus.Transaction{Kind: bus.Read, Addr: 0x4000_0040, Data: make([]daelite.Word, 4)}); err != nil {
+		log.Fatal(err)
+	}
+	p.Run(600)
+	res, ok := initiator.PopResult()
+	if !ok {
+		log.Fatal("read result missing")
+	}
+	fmt.Printf("read back over the NoC: %#x %#x %#x %#x\n",
+		uint32(res.Data[0]), uint32(res.Data[1]), uint32(res.Data[2]), uint32(res.Data[3]))
+	for i := range line {
+		if res.Data[i] != line[i] {
+			log.Fatalf("read-back mismatch at %d", i)
+		}
+	}
+	fmt.Println("memory-mapped round trip verified")
+}

@@ -1,0 +1,125 @@
+// Multipath: route one connection over several paths at no additional
+// hardware cost (Section V cites 24% average bandwidth gains from [29]).
+// The example runs the same bisection-heavy workload on two identical 4x4
+// platforms — one restricted to single paths, one allowed to split — and
+// compares how much of the workload each admits; it then streams over a
+// genuinely split connection and shows the deterministic TDM interleaving
+// across its paths.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"daelite"
+)
+
+// A bisection-heavy workload (sx, sy, dx, dy, slots): sources on the left
+// half, destinations on the right, variable bandwidth demands.
+var requests = [][5]int{
+	{1, 2, 3, 2, 8}, {1, 2, 2, 0, 6}, {1, 0, 3, 2, 5}, {1, 2, 2, 3, 5},
+	{0, 0, 3, 3, 6}, {1, 0, 2, 1, 7}, {0, 0, 3, 0, 8}, {1, 0, 2, 1, 5},
+	{0, 1, 2, 0, 7}, {1, 3, 2, 3, 7}, {0, 2, 2, 3, 8}, {1, 1, 2, 1, 6},
+	{1, 3, 3, 0, 5}, {1, 1, 3, 1, 6}, {0, 0, 3, 1, 6}, {1, 2, 3, 2, 7},
+	{0, 0, 2, 1, 7}, {1, 0, 3, 2, 8}, {1, 3, 2, 3, 8}, {1, 1, 2, 1, 5},
+	{1, 3, 3, 2, 7}, {0, 2, 2, 1, 5}, {1, 1, 3, 3, 5}, {0, 2, 2, 0, 8},
+}
+
+func buildPlatform() *daelite.Platform {
+	params := daelite.DefaultParams()
+	params.Wheel = 16
+	p, err := daelite.NewMeshPlatform(
+		daelite.MeshSpec{Width: 4, Height: 4, NIsPerRouter: 1}, params, 0, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return p
+}
+
+func admitAll(p *daelite.Platform, multipath bool) (admittedSlots int, conns []*daelite.Connection) {
+	for _, q := range requests {
+		spec := daelite.ConnectionSpec{
+			Src: p.Mesh.NI(q[0], q[1], 0), Dst: p.Mesh.NI(q[2], q[3], 0),
+			SlotsFwd: q[4], Multipath: multipath, MaxDetour: 2,
+		}
+		if !multipath {
+			spec.MaxDetour = 0
+		}
+		c, err := p.Open(spec)
+		if err != nil {
+			continue
+		}
+		if err := p.AwaitOpen(c, 1_000_000); err != nil {
+			log.Fatal(err)
+		}
+		admittedSlots += q[4]
+		conns = append(conns, c)
+	}
+	return admittedSlots, conns
+}
+
+func main() {
+	single, _ := admitAll(buildPlatform(), false)
+	pm := buildPlatform()
+	multi, conns := admitAll(pm, true)
+	fmt.Printf("workload: %d requests crossing the bisection\n", len(requests))
+	fmt.Printf("single-path flow admitted:  %d slots of bandwidth\n", single)
+	fmt.Printf("multipath flow admitted:    %d slots of bandwidth (+%.0f%%)\n",
+		multi, 100*float64(multi-single)/float64(single))
+	if multi <= single {
+		log.Fatal("multipath did not admit more of the workload")
+	}
+
+	// Pick a connection that was genuinely split and stream over it.
+	var conn *daelite.Connection
+	for _, c := range conns {
+		if len(c.Fwd.Paths) >= 2 {
+			conn = c
+			break
+		}
+	}
+	if conn == nil {
+		log.Fatal("no split connection found")
+	}
+	fmt.Printf("\nstreaming over %s->%s, split over %d paths:\n",
+		pm.Mesh.Node(conn.Spec.Src).Name, pm.Mesh.Node(conn.Spec.Dst).Name, len(conn.Fwd.Paths))
+	for i, pa := range conn.Fwd.Paths {
+		var names []string
+		for _, n := range pm.Mesh.PathNodes(pa.Path) {
+			names = append(names, pm.Mesh.Node(n).Name)
+		}
+		fmt.Printf("  path %d (slots %v): %v\n", i, pa.InjectSlots.Slots(), names)
+	}
+
+	// Words may arrive reordered across paths (the TDM schedule makes
+	// the interleaving deterministic); sequence tags let the
+	// destination reassemble.
+	srcNI, dstNI := pm.NI(conn.Spec.Src), pm.NI(conn.Spec.Dst)
+	const words = 48
+	sent, received, ooo := 0, 0, 0
+	got := make([]bool, words)
+	lastSeq := int64(-1)
+	for received < words {
+		if sent < words && srcNI.Send(conn.SrcChannel, daelite.Word(sent)) {
+			sent++
+		}
+		pm.Run(2)
+		for {
+			d, ok := dstNI.Recv(conn.DstChannel)
+			if !ok {
+				break
+			}
+			if got[d.Word] {
+				log.Fatalf("duplicate word %d", d.Word)
+			}
+			got[d.Word] = true
+			received++
+			if int64(d.Tag.Seq) < lastSeq {
+				ooo++
+			}
+			lastSeq = int64(d.Tag.Seq)
+		}
+	}
+	fmt.Printf("all %d words delivered exactly once; %d arrivals out of injection order (deterministic TDM interleaving)\n",
+		words, ooo)
+}

@@ -1,0 +1,109 @@
+// Use-case switching: the paper's usage scenario (Section IV). A platform
+// runs a "video playback" use-case (camera -> decoder -> display streams);
+// switching to a "video call" use-case tears those connections down and
+// sets up different ones — dynamically, while an unrelated control stream
+// keeps running undisturbed. The whole switch takes tens to hundreds of
+// cycles thanks to the dedicated configuration tree.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"daelite"
+	"daelite/internal/traffic"
+)
+
+func main() {
+	params := daelite.DefaultParams()
+	params.Wheel = 16
+	p, err := daelite.NewMeshPlatform(
+		daelite.MeshSpec{Width: 3, Height: 3, NIsPerRouter: 1}, params, 0, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A persistent low-rate control stream that must survive all
+	// reconfiguration.
+	control, err := p.Open(daelite.ConnectionSpec{
+		Src: p.Mesh.NI(0, 1, 0), Dst: p.Mesh.NI(2, 1, 0), SlotsFwd: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := p.AwaitOpen(control, 100_000); err != nil {
+		log.Fatal(err)
+	}
+	ctlSrc := traffic.NewSource(p.Sim, "ctl-src", p.NI(control.Spec.Src), control.SrcChannel,
+		traffic.SourceConfig{Pattern: traffic.CBR, Rate: 0.02, Seed: 1})
+	ctlSink := traffic.NewSink(p.Sim, "ctl-sink", p.NI(control.Spec.Dst), control.DstChannel)
+	_ = ctlSrc
+
+	openUseCase := func(name string, streams [][4]int, slots int) []*daelite.Connection {
+		var conns []*daelite.Connection
+		start := p.Cycle()
+		for _, s := range streams {
+			c, err := p.Open(daelite.ConnectionSpec{
+				Src: p.Mesh.NI(s[0], s[1], 0), Dst: p.Mesh.NI(s[2], s[3], 0), SlotsFwd: slots,
+			})
+			if err != nil {
+				log.Fatalf("%s: %v", name, err)
+			}
+			conns = append(conns, c)
+		}
+		if err := p.AwaitOpen(conns[len(conns)-1], 100_000); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("use-case %q: %d connections configured in %d cycles\n",
+			name, len(conns), p.Cycle()-start)
+		return conns
+	}
+	closeUseCase := func(name string, conns []*daelite.Connection) {
+		start := p.Cycle()
+		for _, c := range conns {
+			if err := p.Close(c); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if _, err := p.CompleteConfig(100_000); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("use-case %q: torn down in %d cycles\n", name, p.Cycle()-start)
+	}
+
+	// Phase 1: video playback (camera at (0,0) -> decoder at (1,2) ->
+	// display at (2,0)).
+	playback := openUseCase("video playback", [][4]int{
+		{0, 0, 1, 2}, // camera -> decoder
+		{1, 2, 2, 0}, // decoder -> display
+	}, 4)
+	p.Run(3000)
+	before := ctlSink.Received()
+
+	// The switch.
+	switchStart := p.Cycle()
+	closeUseCase("video playback", playback)
+	call := openUseCase("video call", [][4]int{
+		{0, 0, 2, 2}, // camera -> encoder
+		{2, 2, 0, 2}, // encoder -> radio
+		{0, 2, 2, 0}, // radio -> display (far end video)
+	}, 2)
+	fmt.Printf("complete use-case switch: %d cycles\n", p.Cycle()-switchStart)
+
+	p.Run(3000)
+	after := ctlSink.Received()
+	if after <= before || ctlSink.OutOfOrder() > 0 {
+		log.Fatalf("control stream disturbed by the switch (%d -> %d, ooo %d)",
+			before, after, ctlSink.OutOfOrder())
+	}
+	fmt.Printf("control stream undisturbed: %d words before switch, %d after, 0 lost\n", before, after)
+
+	// Prove the call use-case carries data.
+	c := call[0]
+	p.NI(c.Spec.Src).Send(c.SrcChannel, 0xCA11)
+	p.Run(64)
+	if d, ok := p.NI(c.Spec.Dst).Recv(c.DstChannel); !ok || d.Word != 0xCA11 {
+		log.Fatal("video-call connection not functional")
+	}
+	fmt.Println("video-call connections verified")
+}

@@ -1,0 +1,3 @@
+module daelite
+
+go 1.22

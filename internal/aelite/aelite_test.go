@@ -1,0 +1,277 @@
+package aelite
+
+import (
+	"testing"
+	"testing/quick"
+
+	"daelite/internal/phit"
+	"daelite/internal/topology"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	f := func(route uint32, q, l, cr uint8) bool {
+		h := Header{
+			Route:  route % (1 << 21),
+			Queue:  int(q) % (MaxQueue + 1),
+			Length: int(l) % (MaxPayload + 1),
+			Credit: int(cr) % (MaxHeaderCredit + 1),
+		}
+		w, err := h.Encode()
+		if err != nil {
+			return false
+		}
+		return DecodeHeader(w) == h
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeaderValidation(t *testing.T) {
+	if _, err := (Header{Route: 1 << 21}).Encode(); err == nil {
+		t.Fatal("oversized route accepted")
+	}
+	if _, err := (Header{Queue: MaxQueue + 1}).Encode(); err == nil {
+		t.Fatal("oversized queue accepted")
+	}
+	if _, err := (Header{Length: MaxPayload + 1}).Encode(); err == nil {
+		t.Fatal("oversized length accepted")
+	}
+	if _, err := (Header{Credit: MaxHeaderCredit + 1}).Encode(); err == nil {
+		t.Fatal("oversized credit accepted")
+	}
+}
+
+func TestPackRouteAndNextHop(t *testing.T) {
+	ports := []int{3, 1, 4, 2}
+	r, err := PackRoute(ports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := Header{Route: r}
+	for i, want := range ports {
+		var port int
+		port, h = h.NextHop()
+		if port != want {
+			t.Fatalf("hop %d = %d, want %d", i, port, want)
+		}
+	}
+	if _, err := PackRoute(make([]int, MaxRouteHops+1)); err == nil {
+		t.Fatal("overlong route accepted")
+	}
+	if _, err := PackRoute([]int{8}); err == nil {
+		t.Fatal("invalid port accepted")
+	}
+}
+
+func newNet(t testing.TB, w, h int, params NetParams) *Network {
+	t.Helper()
+	n, err := NewMeshNetwork(topology.MeshSpec{Width: w, Height: h, NIsPerRouter: 1}, params, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestAeliteSetupAndDelivery(t *testing.T) {
+	n := newNet(t, 2, 2, DefaultNetParams())
+	src, dst := n.Mesh.NI(0, 0, 0), n.Mesh.NI(1, 1, 0)
+	c, err := n.Open(src, dst, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AwaitOpen(c, 100000); err != nil {
+		t.Fatal(err)
+	}
+	if c.SetupCycles() == 0 {
+		t.Fatal("setup time not measured")
+	}
+	s, d := n.NI(src), n.NI(dst)
+	const words = 24
+	for i := 0; i < words; i++ {
+		if !s.Send(c.SrcChannel, phit.Word(0x100+i)) {
+			n.Run(64)
+			if !s.Send(c.SrcChannel, phit.Word(0x100+i)) {
+				t.Fatalf("send %d rejected", i)
+			}
+		}
+		n.Run(8)
+	}
+	n.Run(2000)
+	if got := d.RecvLen(c.DstChannel); got != words {
+		t.Fatalf("delivered %d of %d", got, words)
+	}
+	for i := 0; i < words; i++ {
+		dv, _ := d.Recv(c.DstChannel)
+		if dv.Word != phit.Word(0x100+i) {
+			t.Fatalf("word %d = %#x", i, dv.Word)
+		}
+	}
+	if n.TotalConflicts() != 0 {
+		t.Fatalf("router conflicts: %d", n.TotalConflicts())
+	}
+	if d.Dropped() != 0 {
+		t.Fatalf("dropped words: %d", d.Dropped())
+	}
+}
+
+// TestAeliteThreeCyclesPerHop pins the baseline's hop latency: a payload
+// word needs 3 cycles per router hop (vs daelite's 2).
+func TestAeliteThreeCyclesPerHop(t *testing.T) {
+	n := newNet(t, 4, 1, DefaultNetParams())
+	src, dst := n.Mesh.NI(0, 0, 0), n.Mesh.NI(3, 0, 0)
+	c, err := n.Open(src, dst, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AwaitOpen(c, 100000); err != nil {
+		t.Fatal(err)
+	}
+	s, d := n.NI(src), n.NI(dst)
+	// 4 routers on the path; a word injected on the NI->R link is
+	// delivered after 3 cycles per router hop... measure empirically.
+	var latencies []uint64
+	for i := 0; i < 6; i++ {
+		s.Send(c.SrcChannel, phit.Word(i))
+		n.Run(96)
+		for {
+			dv, ok := d.Recv(c.DstChannel)
+			if !ok {
+				break
+			}
+			latencies = append(latencies, dv.Cycle-dv.Tag.InjectCycle)
+		}
+	}
+	if len(latencies) == 0 {
+		t.Fatal("nothing delivered")
+	}
+	// Path NI-R00-R10-R20-R30-NI: 4 router traversals of 3 cycles each
+	// = 12 cycles plus 2 NI ingress register stages = 14.
+	for _, lat := range latencies {
+		if lat != 14 {
+			t.Fatalf("latency = %d, want 14 (4 routers x 3 cycles + 2 NI ingress register stages)", lat)
+		}
+	}
+}
+
+func TestAeliteCreditStall(t *testing.T) {
+	params := DefaultNetParams()
+	params.RecvQueueDepth = 6
+	params.SendQueueDepth = 64
+	n := newNet(t, 2, 2, params)
+	src, dst := n.Mesh.NI(0, 0, 0), n.Mesh.NI(1, 0, 0)
+	c, err := n.Open(src, dst, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AwaitOpen(c, 100000); err != nil {
+		t.Fatal(err)
+	}
+	s, d := n.NI(src), n.NI(dst)
+	for i := 0; i < 30; i++ {
+		if !s.Send(c.SrcChannel, phit.Word(i)) {
+			t.Fatalf("send %d rejected", i)
+		}
+	}
+	n.Run(3000)
+	if got := d.RecvLen(c.DstChannel); got != params.RecvQueueDepth {
+		t.Fatalf("destination holds %d, want %d (credit bound)", got, params.RecvQueueDepth)
+	}
+	if d.Dropped() != 0 {
+		t.Fatalf("dropped: %d", d.Dropped())
+	}
+	// Draining returns credits via headers and the rest flows.
+	got := 0
+	for got < 30 {
+		for {
+			if _, ok := d.Recv(c.DstChannel); !ok {
+				break
+			}
+			got++
+		}
+		n.Run(128)
+		if n.Cycle() > 60000 {
+			t.Fatalf("stalled at %d of 30", got)
+		}
+	}
+}
+
+// TestAeliteSetupSlowerThanDaelite quantifies the paper's headline: the
+// network-carried configuration needs one round trip per register write,
+// so it is roughly an order of magnitude slower than daelite's dedicated
+// tree (compared in the benchmark harness; here we just pin the model's
+// scaling with slots).
+func TestAeliteSetupScalesWithSlots(t *testing.T) {
+	n := newNet(t, 4, 4, DefaultNetParams())
+	src, dst := n.Mesh.NI(1, 0, 0), n.Mesh.NI(3, 3, 0)
+	c1, err := n.Open(src, dst, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AwaitOpen(c1, 200000); err != nil {
+		t.Fatal(err)
+	}
+	// Same endpoints, more slots: more register writes, slower set-up.
+	c4, err := n.Open(src, dst, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AwaitOpen(c4, 200000); err != nil {
+		t.Fatal(err)
+	}
+	if c4.SetupCycles() <= c1.SetupCycles() {
+		t.Fatalf("setup with 4 slots (%d cycles) not slower than 1 slot (%d cycles)",
+			c4.SetupCycles(), c1.SetupCycles())
+	}
+	if c1.SetupCycles() < 100 {
+		t.Fatalf("aelite setup suspiciously fast: %d cycles", c1.SetupCycles())
+	}
+}
+
+func TestConfigSlotReservation(t *testing.T) {
+	// Each NI->router link must have at least one slot taken by the
+	// configuration connections right after build.
+	n := newNet(t, 4, 4, DefaultNetParams())
+	for _, id := range n.Mesh.AllNIs {
+		if id == n.HostNI {
+			continue
+		}
+		out := n.Mesh.Out(id)[0]
+		if n.Alloc.LinkOccupancy(out).Count() < 1 {
+			t.Fatalf("NI %v link has no reserved config slot", n.Mesh.Node(id).Name)
+		}
+	}
+}
+
+func TestHeaderOverheadCounted(t *testing.T) {
+	n := newNet(t, 2, 2, DefaultNetParams())
+	src, dst := n.Mesh.NI(0, 0, 0), n.Mesh.NI(1, 0, 0)
+	c, err := n.Open(src, dst, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AwaitOpen(c, 100000); err != nil {
+		t.Fatal(err)
+	}
+	s, d := n.NI(src), n.NI(dst)
+	for i := 0; i < 200; i++ {
+		if s.CanSend(c.SrcChannel) {
+			s.Send(c.SrcChannel, phit.Word(i))
+		}
+		n.Run(4)
+		for {
+			if _, ok := d.Recv(c.DstChannel); !ok {
+				break
+			}
+		}
+	}
+	hdr, pay, _, _ := s.Stats()
+	if hdr == 0 || pay == 0 {
+		t.Fatalf("stats not collected: hdr=%d pay=%d", hdr, pay)
+	}
+	overhead := float64(hdr) / float64(hdr+pay)
+	// The paper brackets aelite header overhead between 11% and 33%.
+	if overhead < 0.10 || overhead > 0.40 {
+		t.Fatalf("header overhead = %.2f, want within [0.10, 0.40]", overhead)
+	}
+}

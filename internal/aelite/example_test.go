@@ -1,0 +1,33 @@
+package aelite_test
+
+import (
+	"fmt"
+
+	"daelite/internal/aelite"
+	"daelite/internal/topology"
+)
+
+// Example sets up one aelite connection through the network-carried
+// configuration protocol — the slow path the paper improves on — and
+// transfers a word.
+func Example() {
+	n, err := aelite.NewMeshNetwork(
+		topology.MeshSpec{Width: 2, Height: 2, NIsPerRouter: 1},
+		aelite.DefaultNetParams(), 0, 0)
+	if err != nil {
+		panic(err)
+	}
+	c, err := n.Open(n.Mesh.NI(0, 1, 0), n.Mesh.NI(1, 0, 0), 2, 1)
+	if err != nil {
+		panic(err)
+	}
+	if err := n.AwaitOpen(c, 200_000); err != nil {
+		panic(err)
+	}
+	n.NI(c.Src).Send(c.SrcChannel, 0xAE11)
+	n.Run(200)
+	d, ok := n.NI(c.Dst).Recv(c.DstChannel)
+	fmt.Printf("%v %#x, setup took hundreds of cycles: %v\n",
+		ok, uint32(d.Word), c.SetupCycles() > 200)
+	// Output: true 0xae11, setup took hundreds of cycles: true
+}

@@ -1,0 +1,103 @@
+// Package aelite implements the comparison baseline of the paper: aelite,
+// the guaranteed-service-only flavour of the Æthereal network on chip.
+//
+// aelite differs from daelite in exactly the dimensions the paper
+// evaluates:
+//
+//   - Source routing: the path is encoded in a header word carried as the
+//     first word of every packet; routers are stateless and consume 3 route
+//     bits per hop. daelite routers instead hold slot tables and forward
+//     blindly (no headers).
+//   - 3-cycle hops (link, header-inspection, crossbar) versus daelite's 2.
+//   - 3-word slots; packets span 1-3 consecutive slots of the same channel,
+//     so at least one header is needed every 3 slots — an 11-33 % overhead.
+//   - End-to-end credits are piggybacked in headers (3 bits per packet).
+//   - Configuration travels over the data network itself as memory-mapped
+//     request/response messages on pre-reserved connections: at least one
+//     slot on each NI-router and router-NI link is lost to configuration
+//     (6.25 % of bandwidth at 16 slots), and setting up a connection takes
+//     one round trip per register write — the reason daelite's dedicated
+//     tree is an order of magnitude faster.
+package aelite
+
+import "fmt"
+
+// Header field layout within a 32-bit word:
+//
+//	route:  bits 31..11 (21 bits, 7 hops of 3 bits, consumed low-first)
+//	queue:  bits 10..7  (4 bits destination queue/channel)
+//	length: bits  6..3  (4 bits payload word count, 0..8)
+//	credit: bits  2..0  (3 bits piggybacked credits)
+const (
+	// MaxRouteHops is the maximum number of routers a packet may
+	// traverse (21 route bits / 3 per hop).
+	MaxRouteHops = 7
+	// MaxQueue is the largest encodable destination queue index.
+	MaxQueue = 15
+	// MaxPayload is the largest payload length of one packet: 3 slots
+	// of 3 words minus the header.
+	MaxPayload = 8
+	// MaxHeaderCredit is the largest credit count returnable per
+	// header.
+	MaxHeaderCredit = 7
+)
+
+// Header is the decoded form of an aelite packet header.
+type Header struct {
+	Route  uint32 // packed 3-bit output ports, next hop in the low bits
+	Queue  int
+	Length int
+	Credit int
+}
+
+// Encode packs the header into a word.
+func (h Header) Encode() (uint32, error) {
+	if h.Route >= 1<<21 {
+		return 0, fmt.Errorf("aelite: route %#x exceeds 21 bits", h.Route)
+	}
+	if h.Queue < 0 || h.Queue > MaxQueue {
+		return 0, fmt.Errorf("aelite: queue %d out of range", h.Queue)
+	}
+	if h.Length < 0 || h.Length > MaxPayload {
+		return 0, fmt.Errorf("aelite: length %d out of range", h.Length)
+	}
+	if h.Credit < 0 || h.Credit > MaxHeaderCredit {
+		return 0, fmt.Errorf("aelite: credit %d out of range", h.Credit)
+	}
+	return h.Route<<11 | uint32(h.Queue)<<7 | uint32(h.Length)<<3 | uint32(h.Credit), nil
+}
+
+// DecodeHeader unpacks a header word.
+func DecodeHeader(w uint32) Header {
+	return Header{
+		Route:  w >> 11,
+		Queue:  int(w >> 7 & 0xF),
+		Length: int(w >> 3 & 0xF),
+		Credit: int(w & 0x7),
+	}
+}
+
+// NextHop returns the output port for the current router and the header
+// with that hop consumed.
+func (h Header) NextHop() (port int, rest Header) {
+	port = int(h.Route & 0x7)
+	rest = h
+	rest.Route >>= 3
+	return port, rest
+}
+
+// PackRoute builds a route field from the per-router output ports along a
+// path, first router in the low bits.
+func PackRoute(ports []int) (uint32, error) {
+	if len(ports) > MaxRouteHops {
+		return 0, fmt.Errorf("aelite: path of %d router hops exceeds %d", len(ports), MaxRouteHops)
+	}
+	var r uint32
+	for i := len(ports) - 1; i >= 0; i-- {
+		if ports[i] < 0 || ports[i] > 7 {
+			return 0, fmt.Errorf("aelite: port %d not encodable in 3 bits", ports[i])
+		}
+		r = r<<3 | uint32(ports[i])
+	}
+	return r, nil
+}

@@ -1,0 +1,163 @@
+package aelite
+
+import (
+	"testing"
+
+	"daelite/internal/phit"
+	"daelite/internal/topology"
+)
+
+// TestAeliteCloseReopen exercises the tear-down path: slot entries are
+// cleared by register writes over the network, resources are reusable.
+func TestAeliteCloseReopen(t *testing.T) {
+	n := newNet(t, 2, 2, DefaultNetParams())
+	src, dst := n.Mesh.NI(0, 1, 0), n.Mesh.NI(1, 0, 0)
+	before := n.Alloc.TotalSlotsUsed()
+
+	c, err := n.Open(src, dst, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AwaitOpen(c, 200000); err != nil {
+		t.Fatal(err)
+	}
+	// Confirm it works, then close.
+	n.NI(src).Send(c.SrcChannel, 0xAA)
+	n.Run(200)
+	if got := n.NI(dst).RecvLen(c.DstChannel); got != 1 {
+		t.Fatalf("pre-close delivery failed: %d", got)
+	}
+	n.NI(dst).Recv(c.DstChannel)
+	if err := n.Close(c); err != nil {
+		t.Fatal(err)
+	}
+	_, ok := n.Sim.RunUntil(func() bool { return n.Config.Idle() }, 200000)
+	if !ok {
+		t.Fatal("teardown did not complete")
+	}
+	if got := n.Alloc.TotalSlotsUsed(); got != before {
+		t.Fatalf("slots leaked: %d -> %d", before, got)
+	}
+	// The cleared slot table must not inject any more.
+	n.NI(src).Send(c.SrcChannel, 0xBB) // flags cleared: rejected
+	n.Run(300)
+	if got := n.NI(dst).RecvLen(c.DstChannel); got != 0 {
+		t.Fatalf("data flowed over a torn-down connection: %d", got)
+	}
+
+	// Reopen with the same endpoints.
+	c2, err := n.Open(src, dst, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AwaitOpen(c2, 200000); err != nil {
+		t.Fatal(err)
+	}
+	n.NI(src).Send(c2.SrcChannel, 0xCC)
+	n.Run(200)
+	if got := n.NI(dst).RecvLen(c2.DstChannel); got != 1 {
+		t.Fatalf("reopened connection broken: %d", got)
+	}
+}
+
+// TestAeliteConcurrentConnections runs several aelite connections at once
+// and checks isolation (the contention-free property holds for the
+// baseline too — its slowness is in set-up, not data transport).
+func TestAeliteConcurrentConnections(t *testing.T) {
+	n := newNet(t, 3, 3, DefaultNetParams())
+	type conn struct {
+		c    *Connection
+		sent int
+	}
+	pairs := [][4]int{{0, 1, 2, 1}, {1, 0, 1, 2}, {2, 0, 0, 2}}
+	var conns []*conn
+	for _, q := range pairs {
+		c, err := n.Open(n.Mesh.NI(q[0], q[1], 0), n.Mesh.NI(q[2], q[3], 0), 2, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.AwaitOpen(c, 500000); err != nil {
+			t.Fatal(err)
+		}
+		conns = append(conns, &conn{c: c})
+	}
+	for round := 0; round < 20; round++ {
+		for i, cc := range conns {
+			if n.NI(cc.c.Src).Send(cc.c.SrcChannel, phit.Word(i<<8|cc.sent)) {
+				cc.sent++
+			}
+		}
+		n.Run(48)
+	}
+	n.Run(2000)
+	for i, cc := range conns {
+		d := n.NI(cc.c.Dst)
+		got := 0
+		for {
+			dv, ok := d.Recv(cc.c.DstChannel)
+			if !ok {
+				break
+			}
+			if dv.Word != phit.Word(i<<8|got) {
+				t.Fatalf("conn %d corrupted at %d: %#x", i, got, uint32(dv.Word))
+			}
+			got++
+		}
+		if got != cc.sent {
+			t.Fatalf("conn %d delivered %d of %d", i, got, cc.sent)
+		}
+	}
+	if n.TotalConflicts() != 0 {
+		t.Fatalf("conflicts: %d", n.TotalConflicts())
+	}
+}
+
+func TestMulticastEmulation(t *testing.T) {
+	n := newNet(t, 3, 3, DefaultNetParams())
+	src := n.Mesh.NI(0, 1, 0)
+	dsts := []topology.NodeID{n.Mesh.NI(2, 0, 0), n.Mesh.NI(2, 2, 0)}
+	conns, err := n.OpenMulticastEmulation(src, dsts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ok := n.Sim.RunUntil(func() bool { return n.Config.Idle() }, 1_000_000)
+	if !ok {
+		t.Fatal("emulation setup did not finish")
+	}
+	// The source link carries one injection per destination per word:
+	// 2 connections x 2 slots = 4 slots on the source link, vs 2 for a
+	// daelite tree.
+	srcLink := n.Mesh.Out(src)[0]
+	if got := n.Alloc.LinkOccupancy(srcLink).Count(); got != 4+0 {
+		// (+0: src is not the host, no config slot on this link? it
+		// has one reserved config slot too)
+		if got != 5 {
+			t.Fatalf("source link slots = %d, want 4 data (+1 config)", got)
+		}
+	}
+	sent := 0
+	for sent < 12 {
+		if n.SendAll(conns, phit.Word(0xE0+sent)) {
+			sent++
+		}
+		n.Run(24)
+	}
+	n.Run(1500)
+	for i, c := range conns {
+		d := n.NI(c.Dst)
+		got := 0
+		for {
+			dv, okk := d.Recv(c.DstChannel)
+			if !okk {
+				break
+			}
+			if dv.Word != phit.Word(0xE0+got) {
+				t.Fatalf("dest %d corrupted at %d", i, got)
+			}
+			got++
+		}
+		if got != 12 {
+			t.Fatalf("dest %d received %d of 12", i, got)
+		}
+	}
+}

@@ -1,0 +1,386 @@
+package aelite
+
+import (
+	"fmt"
+
+	"daelite/internal/alloc"
+	"daelite/internal/phit"
+	"daelite/internal/sim"
+	"daelite/internal/slots"
+	"daelite/internal/topology"
+)
+
+// NetParams are the network-wide aelite parameters.
+type NetParams struct {
+	Wheel          int
+	NumChannels    int
+	SendQueueDepth int
+	RecvQueueDepth int
+}
+
+// DefaultNetParams mirror the comparison setups of the paper.
+func DefaultNetParams() NetParams {
+	return NetParams{Wheel: 16, NumChannels: 8, SendQueueDepth: 16, RecvQueueDepth: 32}
+}
+
+// Network is a fully wired aelite platform: source-routed routers, NIs
+// with TX slot tables, and a configuration unit at the host that sets up
+// connections by sending memory-mapped write messages over the network
+// itself on pre-reserved configuration connections.
+type Network struct {
+	Sim    *sim.Simulator
+	Mesh   *topology.Mesh
+	Params NetParams
+
+	Routers map[topology.NodeID]*Router
+	NIs     map[topology.NodeID]*NI
+	Alloc   *alloc.Allocator
+	HostNI  topology.NodeID
+	Config  *ConfigUnit
+
+	// ConfigChannel is the per-NI channel reserved for configuration.
+	ConfigChannel int
+
+	channelsUsed map[topology.NodeID]map[int]bool
+	cfgRoutes    configRouteTable
+	nextConnID   int
+}
+
+// Connection is a live aelite connection.
+type Connection struct {
+	ID         int
+	Src, Dst   topology.NodeID
+	SrcChannel int
+	DstChannel int
+	Fwd, Rev   *alloc.Unicast
+
+	SetupSubmitCycle uint64
+	SetupDoneCycle   uint64
+	SetupOps         int
+}
+
+// SetupCycles returns the measured set-up duration.
+func (c *Connection) SetupCycles() uint64 { return c.SetupDoneCycle - c.SetupSubmitCycle }
+
+// NewMeshNetwork builds an aelite mesh platform with the host NI at
+// (hostX, hostY).
+func NewMeshNetwork(spec topology.MeshSpec, params NetParams, hostX, hostY int) (*Network, error) {
+	m, err := topology.NewMesh(spec)
+	if err != nil {
+		return nil, err
+	}
+	niParams := Params{
+		Wheel:          params.Wheel,
+		NumChannels:    params.NumChannels,
+		SendQueueDepth: params.SendQueueDepth,
+		RecvQueueDepth: params.RecvQueueDepth,
+	}
+	if err := niParams.Validate(); err != nil {
+		return nil, err
+	}
+	s := sim.New()
+	n := &Network{
+		Sim:           s,
+		Mesh:          m,
+		Params:        params,
+		Routers:       make(map[topology.NodeID]*Router),
+		NIs:           make(map[topology.NodeID]*NI),
+		Alloc:         alloc.New(m.Graph, params.Wheel),
+		HostNI:        m.NI(hostX, hostY, 0),
+		ConfigChannel: params.NumChannels - 1,
+		channelsUsed:  make(map[topology.NodeID]map[int]bool),
+	}
+	for _, nd := range m.Nodes() {
+		switch nd.Kind {
+		case topology.Router:
+			n.Routers[nd.ID] = NewRouter(s, nd.Name, m.InDegree(nd.ID), m.OutDegree(nd.ID))
+		case topology.NI:
+			nif, err := NewNI(s, nd.Name, int(nd.ID), niParams)
+			if err != nil {
+				return nil, err
+			}
+			n.NIs[nd.ID] = nif
+		}
+	}
+	for _, l := range m.Links() {
+		var w *sim.Reg[phit.Flit]
+		if r, ok := n.Routers[l.From]; ok {
+			w = r.OutputWire(l.FromPort)
+		} else {
+			w = n.NIs[l.From].OutputWire()
+		}
+		if r, ok := n.Routers[l.To]; ok {
+			r.ConnectInput(l.ToPort, w)
+		} else {
+			n.NIs[l.To].ConnectInput(w)
+		}
+	}
+	if err := n.provisionConfig(); err != nil {
+		return nil, err
+	}
+	n.Config = newConfigUnit(s, n)
+	// Reserve the config channel at every NI.
+	for id := range n.NIs {
+		n.markChannelUsed(id, n.ConfigChannel)
+	}
+	return n, nil
+}
+
+func (n *Network) markChannelUsed(id topology.NodeID, ch int) {
+	used := n.channelsUsed[id]
+	if used == nil {
+		used = make(map[int]bool)
+		n.channelsUsed[id] = used
+	}
+	used[ch] = true
+}
+
+// routePorts extracts the per-router output ports of a path (excluding the
+// final delivery into the NI, which is the last router's port too — every
+// router the packet visits consumes one route hop, including the one that
+// ejects to the destination NI).
+func routePorts(g *topology.Graph, p topology.Path) []int {
+	var ports []int
+	for i := 1; i < len(p); i++ { // p[0] leaves the source NI; routers own p[1..]
+		ports = append(ports, g.Link(p[i]).FromPort)
+	}
+	return ports
+}
+
+// provisionConfig reserves the configuration connections: host -> every NI
+// and every NI -> host, one slot each, boot-time configured. This is the
+// reservation behind the paper's observation that aelite loses at least
+// one slot per NI link (6.25 % of bandwidth at 16 slots) to configuration.
+func (n *Network) provisionConfig() error {
+	g := n.Mesh.Graph
+	hostNI := n.NIs[n.HostNI]
+	for _, id := range n.Mesh.AllNIs {
+		if id == n.HostNI {
+			continue
+		}
+		fwd, err := n.Alloc.Unicast(n.HostNI, id, 1, alloc.Options{MaxDetour: 2, MaxPaths: 16})
+		if err != nil {
+			return fmt.Errorf("aelite: config provisioning to %v: %w", n.Mesh.Node(id).Name, err)
+		}
+		rev, err := n.Alloc.Unicast(id, n.HostNI, 1, alloc.Options{MaxDetour: 2, MaxPaths: 16})
+		if err != nil {
+			return fmt.Errorf("aelite: config provisioning from %v: %w", n.Mesh.Node(id).Name, err)
+		}
+		// Boot-time slot table entries at both NIs.
+		for _, s := range fwd.Paths[0].InjectSlots.Slots() {
+			hostNI.BootConfig(RegAddr(RegSlotEntry, s), uint32(n.ConfigChannel))
+		}
+		target := n.NIs[id]
+		for _, s := range rev.Paths[0].InjectSlots.Slots() {
+			target.BootConfig(RegAddr(RegSlotEntry, s), uint32(n.ConfigChannel))
+		}
+		// The target's config channel routes back to the host.
+		revRoute, err := PackRoute(routePorts(g, rev.Paths[0].Path))
+		if err != nil {
+			return err
+		}
+		target.EnableConfigChannel(n.ConfigChannel, target.applyReg)
+		target.SetRoute(n.ConfigChannel, revRoute, n.ConfigChannel)
+		// Remember the forward route for the unit.
+		fwdRoute, err := PackRoute(routePorts(g, fwd.Paths[0].Path))
+		if err != nil {
+			return err
+		}
+		n.configRoutes().set(id, fwdRoute, fwd.Paths[0].InjectSlots, rev.Paths[0].InjectSlots)
+	}
+	hostNI.OpenConfigInitiator(n.ConfigChannel)
+	return nil
+}
+
+// configRoute records how the host reaches one NI.
+type configRoute struct {
+	route   uint32
+	fwdSlot slots.Mask
+	revSlot slots.Mask
+}
+
+type configRouteTable map[topology.NodeID]*configRoute
+
+func (t configRouteTable) set(id topology.NodeID, route uint32, fwd, rev slots.Mask) {
+	t[id] = &configRoute{route: route, fwdSlot: fwd, revSlot: rev}
+}
+
+func (n *Network) configRoutes() configRouteTable {
+	if n.cfgRoutes == nil {
+		n.cfgRoutes = make(configRouteTable)
+	}
+	return n.cfgRoutes
+}
+
+// Run advances the network n cycles.
+func (n *Network) Run(cycles uint64) { n.Sim.Run(cycles) }
+
+// Cycle returns the current cycle.
+func (n *Network) Cycle() uint64 { return n.Sim.Cycle() }
+
+// NI returns the NI at id.
+func (n *Network) NI(id topology.NodeID) *NI { return n.NIs[id] }
+
+func (n *Network) allocChannel(id topology.NodeID) (int, error) {
+	used := n.channelsUsed[id]
+	if used == nil {
+		used = make(map[int]bool)
+		n.channelsUsed[id] = used
+	}
+	for ch := 0; ch < n.Params.NumChannels; ch++ {
+		if !used[ch] {
+			used[ch] = true
+			return ch, nil
+		}
+	}
+	return 0, fmt.Errorf("aelite: NI %v out of channels", n.Mesh.Node(id).Name)
+}
+
+// Open allocates and configures a bidirectional connection by queueing the
+// register-write operations on the configuration unit. Each operation is a
+// full network round trip (request message plus acknowledgement), which is
+// what makes aelite set-up an order of magnitude slower than daelite's.
+func (n *Network) Open(src, dst topology.NodeID, slotsFwd, slotsRev int) (*Connection, error) {
+	if slotsRev <= 0 {
+		slotsRev = 1
+	}
+	g := n.Mesh.Graph
+	fwd, err := n.Alloc.Unicast(src, dst, slotsFwd, alloc.Options{})
+	if err != nil {
+		return nil, err
+	}
+	rev, err := n.Alloc.Unicast(dst, src, slotsRev, alloc.Options{})
+	if err != nil {
+		n.Alloc.ReleaseUnicast(fwd)
+		return nil, err
+	}
+	srcCh, err := n.allocChannel(src)
+	if err != nil {
+		n.Alloc.ReleaseUnicast(fwd)
+		n.Alloc.ReleaseUnicast(rev)
+		return nil, err
+	}
+	dstCh, err := n.allocChannel(dst)
+	if err != nil {
+		n.Alloc.ReleaseUnicast(fwd)
+		n.Alloc.ReleaseUnicast(rev)
+		return nil, err
+	}
+	fwdRoute, err := PackRoute(routePorts(g, fwd.Paths[0].Path))
+	if err != nil {
+		return nil, err
+	}
+	revRoute, err := PackRoute(routePorts(g, rev.Paths[0].Path))
+	if err != nil {
+		return nil, err
+	}
+
+	credit := n.Params.RecvQueueDepth
+	var ops []configOp
+	// Source NI: route, remote queue, credit, slot entries, open flag.
+	ops = append(ops,
+		configOp{target: src, reg: RegAddr(RegRoute, srcCh), value: fwdRoute},
+		configOp{target: src, reg: RegAddr(RegRemoteQueue, srcCh), value: uint32(dstCh)},
+		configOp{target: src, reg: RegAddr(RegCredit, srcCh), value: uint32(credit)},
+	)
+	for _, s := range fwd.Paths[0].InjectSlots.Slots() {
+		ops = append(ops, configOp{target: src, reg: RegAddr(RegSlotEntry, s), value: uint32(srcCh)})
+	}
+	ops = append(ops, configOp{target: src, reg: RegAddr(RegFlags, srcCh), value: FlagOpen})
+	// Destination NI mirrors it for the reverse direction.
+	ops = append(ops,
+		configOp{target: dst, reg: RegAddr(RegRoute, dstCh), value: revRoute},
+		configOp{target: dst, reg: RegAddr(RegRemoteQueue, dstCh), value: uint32(srcCh)},
+		configOp{target: dst, reg: RegAddr(RegCredit, dstCh), value: uint32(credit)},
+	)
+	for _, s := range rev.Paths[0].InjectSlots.Slots() {
+		ops = append(ops, configOp{target: dst, reg: RegAddr(RegSlotEntry, s), value: uint32(dstCh)})
+	}
+	ops = append(ops, configOp{target: dst, reg: RegAddr(RegFlags, dstCh), value: FlagOpen})
+
+	c := &Connection{
+		ID: n.nextConnID, Src: src, Dst: dst,
+		SrcChannel: srcCh, DstChannel: dstCh,
+		Fwd: fwd, Rev: rev,
+		SetupSubmitCycle: n.Sim.Cycle(),
+		SetupOps:         len(ops),
+	}
+	n.nextConnID++
+	n.Config.enqueue(ops)
+	return c, nil
+}
+
+// AwaitOpen runs until the configuration unit is idle and records the
+// set-up completion cycle.
+func (n *Network) AwaitOpen(c *Connection, budget uint64) error {
+	_, ok := n.Sim.RunUntil(func() bool { return n.Config.Idle() }, budget)
+	if !ok {
+		return fmt.Errorf("aelite: configuration did not finish within %d cycles", budget)
+	}
+	c.SetupDoneCycle = n.Sim.Cycle()
+	return nil
+}
+
+// Close tears a connection down (clear slot entries and flags) and
+// releases its resources.
+func (n *Network) Close(c *Connection) error {
+	var ops []configOp
+	for _, s := range c.Fwd.Paths[0].InjectSlots.Slots() {
+		ops = append(ops, configOp{target: c.Src, reg: RegAddr(RegSlotEntry, s), value: ClearEntry})
+	}
+	ops = append(ops, configOp{target: c.Src, reg: RegAddr(RegFlags, c.SrcChannel), value: 0})
+	for _, s := range c.Rev.Paths[0].InjectSlots.Slots() {
+		ops = append(ops, configOp{target: c.Dst, reg: RegAddr(RegSlotEntry, s), value: ClearEntry})
+	}
+	ops = append(ops, configOp{target: c.Dst, reg: RegAddr(RegFlags, c.DstChannel), value: 0})
+	n.Config.enqueue(ops)
+	n.Alloc.ReleaseUnicast(c.Fwd)
+	n.Alloc.ReleaseUnicast(c.Rev)
+	delete(n.channelsUsed[c.Src], c.SrcChannel)
+	delete(n.channelsUsed[c.Dst], c.DstChannel)
+	return nil
+}
+
+// TotalConflicts sums router output collisions (must be zero).
+func (n *Network) TotalConflicts() uint64 {
+	var total uint64
+	for _, r := range n.Routers {
+		total += r.Conflicts()
+	}
+	return total
+}
+
+// OpenMulticastEmulation emulates multicast the way [26] proposed for
+// Æthereal: one separate unicast connection per destination. The source
+// NI's link bandwidth is divided between the connections — the
+// inefficiency daelite's multicast trees remove (Fig. 7).
+func (n *Network) OpenMulticastEmulation(src topology.NodeID, dsts []topology.NodeID, slotsEach int) ([]*Connection, error) {
+	var conns []*Connection
+	for _, d := range dsts {
+		c, err := n.Open(src, d, slotsEach, 1)
+		if err != nil {
+			for _, cc := range conns {
+				_ = n.Close(cc)
+			}
+			return nil, fmt.Errorf("aelite: multicast emulation to %v: %w", n.Mesh.Node(d).Name, err)
+		}
+		conns = append(conns, c)
+	}
+	return conns, nil
+}
+
+// SendAll replicates one word onto every emulation connection (the shell-
+// level copy [26]'s scheme needs); it returns false if any send queue is
+// full (none are sent then, to keep the copies aligned).
+func (n *Network) SendAll(conns []*Connection, w phit.Word) bool {
+	src := n.NIs[conns[0].Src]
+	for _, c := range conns {
+		if !src.CanSend(c.SrcChannel) {
+			return false
+		}
+	}
+	for _, c := range conns {
+		src.Send(c.SrcChannel, w)
+	}
+	return true
+}

@@ -1,0 +1,571 @@
+// Package alloc implements the contention-free slot allocation flow — the
+// design-time (and, incrementally, run-time) tooling the paper inherits
+// from the Æthereal ecosystem: given a topology and a set of connection
+// requests, find paths and TDM slots such that no link is claimed by two
+// channels in the same slot.
+//
+// The slot-alignment law of the daelite pipeline (2-cycle hops, 2-word
+// slots) is that a channel injected at slot s by its source NI occupies
+// slot (s+k) mod W on the k-th link of its path, and is written into the
+// destination NI's receive table at slot (s+L) mod W for a path of L
+// links. All conflict checks below are bitwise operations on slot masks
+// rotated by link depth, which makes a what-if test O(path length).
+//
+// Supported request shapes: single-path unicast, multipath unicast (one
+// logical connection split over several paths, the basis of the ~24 %
+// bandwidth gain the paper cites from [29]), and multicast trees (shared
+// prefixes reserve each link once; forks replicate data at no extra slot
+// cost on the shared segments).
+package alloc
+
+import (
+	"fmt"
+	"sort"
+
+	"daelite/internal/slots"
+	"daelite/internal/topology"
+)
+
+// Allocator tracks slot occupancy of every link and NI table in a network
+// and hands out contention-free allocations.
+type Allocator struct {
+	g     *topology.Graph
+	wheel int
+
+	linkOcc map[topology.LinkID]slots.Mask
+	niTX    map[topology.NodeID]slots.Mask
+	niRX    map[topology.NodeID]slots.Mask
+}
+
+// New returns an empty allocator over g with the given slot-wheel size.
+func New(g *topology.Graph, wheel int) *Allocator {
+	return &Allocator{
+		g:       g,
+		wheel:   wheel,
+		linkOcc: make(map[topology.LinkID]slots.Mask),
+		niTX:    make(map[topology.NodeID]slots.Mask),
+		niRX:    make(map[topology.NodeID]slots.Mask),
+	}
+}
+
+// Wheel returns the slot-wheel size.
+func (a *Allocator) Wheel() int { return a.wheel }
+
+func (a *Allocator) occ(m map[topology.LinkID]slots.Mask, k topology.LinkID) slots.Mask {
+	if v, ok := m[k]; ok {
+		return v
+	}
+	return slots.NewMask(a.wheel)
+}
+
+func (a *Allocator) nodeOcc(m map[topology.NodeID]slots.Mask, k topology.NodeID) slots.Mask {
+	if v, ok := m[k]; ok {
+		return v
+	}
+	return slots.NewMask(a.wheel)
+}
+
+// LinkOccupancy returns the mask of used slots on link l.
+func (a *Allocator) LinkOccupancy(l topology.LinkID) slots.Mask { return a.occ(a.linkOcc, l) }
+
+// free returns the free-slot mask of a link.
+func (a *Allocator) freeLink(l topology.LinkID) slots.Mask {
+	used := a.occ(a.linkOcc, l)
+	return slots.Mask{Bits: ^used.Bits & wheelBits(a.wheel), Size: a.wheel}
+}
+
+func wheelBits(n int) uint64 {
+	if n == 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(n) - 1
+}
+
+// CandidateSlots returns the injection-slot mask for which the whole path
+// is free: slot s is a candidate iff every link is free at s plus its
+// cumulative slot offset (one per standard hop, plus one per pipeline
+// stage of preceding links), the source NI's table is free at s, and the
+// destination NI's table is free at the path's total slot advance.
+func (a *Allocator) CandidateSlots(path topology.Path) slots.Mask {
+	cand := slots.Mask{Bits: wheelBits(a.wheel), Size: a.wheel}
+	if len(path) == 0 {
+		return slots.NewMask(a.wheel)
+	}
+	src := a.g.Link(path[0]).From
+	dst := a.g.Link(path[len(path)-1]).To
+	srcFree := slots.Mask{Bits: ^a.nodeOcc(a.niTX, src).Bits & wheelBits(a.wheel), Size: a.wheel}
+	cand = cand.Intersect(srcFree)
+	off := 0
+	for _, l := range path {
+		cand = cand.Intersect(a.freeLink(l).RotateDown(off))
+		off += a.g.SlotAdvance(l)
+	}
+	dstFree := slots.Mask{Bits: ^a.nodeOcc(a.niRX, dst).Bits & wheelBits(a.wheel), Size: a.wheel}
+	cand = cand.Intersect(dstFree.RotateDown(off))
+	return cand
+}
+
+// PathAlloc is the reservation of some injection slots along one path.
+type PathAlloc struct {
+	Path topology.Path
+	// InjectSlots is the source-view slot mask: the slots at which the
+	// source NI injects on this path.
+	InjectSlots slots.Mask
+}
+
+// DestSlots returns the destination NI's receive-table mask for this
+// path; g supplies per-link slot advances (pipelined links shift by more
+// than one).
+func (p PathAlloc) DestSlots(g *topology.Graph) slots.Mask {
+	return p.InjectSlots.RotateUp(g.PathSlotAdvance(p.Path))
+}
+
+// Unicast is an allocated unicast channel, possibly split over several
+// paths (multipath).
+type Unicast struct {
+	Src, Dst topology.NodeID
+	Paths    []PathAlloc
+}
+
+// SlotCount returns the total number of injection slots reserved.
+func (u *Unicast) SlotCount() int {
+	n := 0
+	for _, p := range u.Paths {
+		n += p.InjectSlots.Count()
+	}
+	return n
+}
+
+// Options tune an allocation request.
+type Options struct {
+	// Multipath allows splitting the demand over several paths.
+	Multipath bool
+	// MaxPaths bounds the number of paths tried/used (default 8).
+	MaxPaths int
+	// MaxDetour allows paths up to MaxDetour links longer than the
+	// shortest (default 0: shortest paths only; multipath benefits from
+	// 2).
+	MaxDetour int
+	// Spread selects slots spaced as evenly as possible around the
+	// wheel instead of the lowest free ones, minimizing the worst-case
+	// scheduling latency (the wait for the next owned slot). Used by
+	// the dimensioning flow for latency-constrained connections.
+	Spread bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxPaths <= 0 {
+		o.MaxPaths = 8
+	}
+	if o.MaxDetour < 0 {
+		o.MaxDetour = 0
+	}
+	return o
+}
+
+// ErrNoCapacity is returned when a request cannot be satisfied.
+type ErrNoCapacity struct {
+	Want, Got int
+}
+
+func (e ErrNoCapacity) Error() string {
+	return fmt.Sprintf("alloc: capacity exhausted: want %d slots, found %d", e.Want, e.Got)
+}
+
+// Unicast reserves nslots injection slots from src to dst. With
+// opts.Multipath it may split the reservation across several paths;
+// otherwise a single path must carry all slots.
+func (a *Allocator) Unicast(src, dst topology.NodeID, nslots int, opts Options) (*Unicast, error) {
+	if nslots <= 0 {
+		return nil, fmt.Errorf("alloc: nslots must be positive")
+	}
+	if src == dst {
+		return nil, fmt.Errorf("alloc: source and destination NI are the same")
+	}
+	opts = opts.withDefaults()
+	min := a.g.Distance(src, dst)
+	if min < 0 {
+		return nil, fmt.Errorf("alloc: no path from %d to %d", src, dst)
+	}
+	paths := a.g.SimplePaths(src, dst, min+opts.MaxDetour, 64)
+	if len(paths) > opts.MaxPaths {
+		paths = paths[:opts.MaxPaths]
+	}
+
+	if !opts.Multipath {
+		for _, p := range paths {
+			cand := a.CandidateSlots(p)
+			if cand.Count() >= nslots {
+				take := firstN(cand, nslots)
+				if opts.Spread {
+					take = PickSpread(cand, nslots)
+				}
+				u := &Unicast{Src: src, Dst: dst, Paths: []PathAlloc{{Path: p, InjectSlots: take}}}
+				a.commitUnicast(u)
+				return u, nil
+			}
+		}
+		best := 0
+		for _, p := range paths {
+			if c := a.CandidateSlots(p).Count(); c > best {
+				best = c
+			}
+		}
+		return nil, ErrNoCapacity{Want: nslots, Got: best}
+	}
+
+	// Multipath: take slots greedily path by path (shortest first). The
+	// source NI can inject each slot on only one path, so claimed
+	// injection slots are excluded from later candidates via the NI TX
+	// table updates done by commit; within this loop we track them
+	// locally.
+	u := &Unicast{Src: src, Dst: dst}
+	remaining := nslots
+	clone := a.Clone()
+	for _, p := range paths {
+		if remaining == 0 {
+			break
+		}
+		cand := clone.CandidateSlots(p)
+		if cand.Empty() {
+			continue
+		}
+		take := firstN(cand, remaining)
+		pa := PathAlloc{Path: p, InjectSlots: take}
+		clone.commitUnicast(&Unicast{Src: src, Dst: dst, Paths: []PathAlloc{pa}})
+		u.Paths = append(u.Paths, pa)
+		remaining -= take.Count()
+	}
+	if remaining > 0 {
+		return nil, ErrNoCapacity{Want: nslots, Got: nslots - remaining}
+	}
+	a.adopt(clone)
+	return u, nil
+}
+
+// firstN returns the lowest n set slots of m (all of them if fewer).
+func firstN(m slots.Mask, n int) slots.Mask {
+	out := slots.NewMask(m.Size)
+	for _, s := range m.Slots() {
+		if n == 0 {
+			break
+		}
+		out = out.With(s)
+		n--
+	}
+	return out
+}
+
+// PickSpread chooses n slots out of the candidate mask spaced as evenly
+// as possible around the wheel: the first candidate is taken, then each
+// following pick is the candidate closest to the ideal equidistant
+// position. Evenly spread slots minimize the worst-case scheduling
+// latency for a given bandwidth share.
+func PickSpread(cand slots.Mask, n int) slots.Mask {
+	cs := cand.Slots()
+	if n >= len(cs) {
+		return cand
+	}
+	out := slots.NewMask(cand.Size)
+	if n <= 0 {
+		return out
+	}
+	used := make(map[int]bool, n)
+	stride := float64(cand.Size) / float64(n)
+	base := cs[0]
+	for k := 0; k < n; k++ {
+		ideal := (base + int(float64(k)*stride+0.5)) % cand.Size
+		// Nearest unused candidate to the ideal position (cyclic
+		// distance).
+		best, bestDist := -1, cand.Size+1
+		for _, s := range cs {
+			if used[s] {
+				continue
+			}
+			d := s - ideal
+			if d < 0 {
+				d = -d
+			}
+			if cand.Size-d < d {
+				d = cand.Size - d
+			}
+			if d < bestDist {
+				best, bestDist = s, d
+			}
+		}
+		used[best] = true
+		out = out.With(best)
+	}
+	// The heuristic can lose to first-fit on adversarial candidate
+	// sets; never return a worse pick.
+	if ff := firstN(cand, n); worstGapSlots(ff) < worstGapSlots(out) {
+		return ff
+	}
+	return out
+}
+
+// worstGapSlots is the cyclic worst-case gap between consecutive owned
+// slots, in slot positions.
+func worstGapSlots(m slots.Mask) int {
+	ss := m.Slots()
+	if len(ss) == 0 {
+		return 1 << 30
+	}
+	max := 0
+	for i, s := range ss {
+		next := ss[(i+1)%len(ss)]
+		gap := next - s
+		if gap <= 0 {
+			gap += m.Size
+		}
+		if gap > max {
+			max = gap
+		}
+	}
+	return max
+}
+
+// commitUnicast marks the allocation's slots as used.
+func (a *Allocator) commitUnicast(u *Unicast) {
+	for _, pa := range u.Paths {
+		a.niTX[u.Src] = a.nodeOcc(a.niTX, u.Src).Union(pa.InjectSlots)
+		off := 0
+		for _, l := range pa.Path {
+			a.linkOcc[l] = a.occ(a.linkOcc, l).Union(pa.InjectSlots.RotateUp(off))
+			off += a.g.SlotAdvance(l)
+		}
+		a.niRX[u.Dst] = a.nodeOcc(a.niRX, u.Dst).Union(pa.InjectSlots.RotateUp(off))
+	}
+}
+
+// ReleaseUnicast returns an allocation's slots to the pool.
+func (a *Allocator) ReleaseUnicast(u *Unicast) {
+	for _, pa := range u.Paths {
+		a.niTX[u.Src] = maskMinus(a.nodeOcc(a.niTX, u.Src), pa.InjectSlots)
+		off := 0
+		for _, l := range pa.Path {
+			a.linkOcc[l] = maskMinus(a.occ(a.linkOcc, l), pa.InjectSlots.RotateUp(off))
+			off += a.g.SlotAdvance(l)
+		}
+		a.niRX[u.Dst] = maskMinus(a.nodeOcc(a.niRX, u.Dst), pa.InjectSlots.RotateUp(off))
+	}
+}
+
+func maskMinus(a, b slots.Mask) slots.Mask {
+	a.Bits &^= b.Bits
+	return a
+}
+
+// Clone deep-copies the allocator state (what-if evaluation).
+func (a *Allocator) Clone() *Allocator {
+	c := New(a.g, a.wheel)
+	for k, v := range a.linkOcc {
+		c.linkOcc[k] = v
+	}
+	for k, v := range a.niTX {
+		c.niTX[k] = v
+	}
+	for k, v := range a.niRX {
+		c.niRX[k] = v
+	}
+	return c
+}
+
+// adopt replaces a's state with c's (after successful what-if commits).
+func (a *Allocator) adopt(c *Allocator) {
+	a.linkOcc = c.linkOcc
+	a.niTX = c.niTX
+	a.niRX = c.niRX
+}
+
+// TotalSlotsUsed sums reserved (link, slot) pairs, a load metric for
+// experiments.
+func (a *Allocator) TotalSlotsUsed() int {
+	n := 0
+	for _, m := range a.linkOcc {
+		n += m.Count()
+	}
+	return n
+}
+
+// TreeEdge is one link of a multicast tree with its depth (links from the
+// source NI).
+type TreeEdge struct {
+	Link  topology.LinkID
+	Depth int
+}
+
+// Multicast is an allocated multicast tree rooted at the source NI.
+type Multicast struct {
+	Src  topology.NodeID
+	Dsts []topology.NodeID
+	// InjectSlots is the source-view slot mask shared by the whole
+	// tree.
+	InjectSlots slots.Mask
+	// Edges lists every tree link once with its depth.
+	Edges []TreeEdge
+	// DestDepth gives each destination NI's path length (for its
+	// receive-table slots: InjectSlots rotated up by depth).
+	DestDepth map[topology.NodeID]int
+}
+
+// DestSlots returns the receive-table mask of destination d.
+func (m *Multicast) DestSlots(d topology.NodeID) slots.Mask {
+	return m.InjectSlots.RotateUp(m.DestDepth[d])
+}
+
+// Multicast reserves nslots injection slots for a tree from src to every
+// destination. The tree is grown greedily: destinations are connected in
+// increasing distance from src, each via a shortest path from the already
+// reached set, so shared prefixes reserve each link once.
+func (a *Allocator) Multicast(src topology.NodeID, dsts []topology.NodeID, nslots int) (*Multicast, error) {
+	if nslots <= 0 {
+		return nil, fmt.Errorf("alloc: nslots must be positive")
+	}
+	if len(dsts) == 0 {
+		return nil, fmt.Errorf("alloc: no destinations")
+	}
+	for _, d := range dsts {
+		if d == src {
+			return nil, fmt.Errorf("alloc: destination equals source")
+		}
+	}
+	// Order destinations by distance from the source.
+	order := make([]topology.NodeID, len(dsts))
+	copy(order, dsts)
+	sort.Slice(order, func(i, j int) bool {
+		di, dj := a.g.Distance(src, order[i]), a.g.Distance(src, order[j])
+		if di != dj {
+			return di < dj
+		}
+		return order[i] < order[j]
+	})
+
+	// nodeDepth tracks reached nodes and their depth from src.
+	nodeDepth := map[topology.NodeID]int{src: 0}
+	var edges []TreeEdge
+	destDepth := make(map[topology.NodeID]int)
+	for _, d := range order {
+		if _, ok := nodeDepth[d]; ok {
+			destDepth[d] = nodeDepth[d]
+			continue
+		}
+		// Shortest attachment from any reached node, counting total
+		// depth at the destination.
+		var bestPath topology.Path
+		bestDepth := -1
+		var bestFrom topology.NodeID
+		for from, fd := range nodeDepth {
+			if a.g.Node(from).Kind == topology.NI && from != src {
+				continue // cannot route through an NI
+			}
+			p := a.g.ShortestPath(from, d)
+			if p == nil {
+				continue
+			}
+			total := fd + len(p)
+			if bestDepth == -1 || total < bestDepth || (total == bestDepth && from < bestFrom) {
+				bestDepth, bestPath, bestFrom = total, p, from
+			}
+		}
+		if bestPath == nil {
+			return nil, fmt.Errorf("alloc: destination %d unreachable", d)
+		}
+		depth := nodeDepth[bestFrom]
+		for _, l := range bestPath {
+			linkOff := depth
+			depth += a.g.SlotAdvance(l)
+			to := a.g.Link(l).To
+			if d0, seen := nodeDepth[to]; seen {
+				// The attachment path crossed an already reached
+				// node: keep the established depth labelling.
+				depth = d0
+				continue
+			}
+			nodeDepth[to] = depth
+			edges = append(edges, TreeEdge{Link: l, Depth: linkOff})
+		}
+		destDepth[d] = nodeDepth[d]
+	}
+
+	// Candidate injection slots: every tree link free at its depth, the
+	// source table free, every destination table free at its depth.
+	cand := slots.Mask{Bits: ^a.nodeOcc(a.niTX, src).Bits & wheelBits(a.wheel), Size: a.wheel}
+	for _, e := range edges {
+		cand = cand.Intersect(a.freeLink(e.Link).RotateDown(e.Depth))
+	}
+	for d, dep := range destDepth {
+		free := slots.Mask{Bits: ^a.nodeOcc(a.niRX, d).Bits & wheelBits(a.wheel), Size: a.wheel}
+		cand = cand.Intersect(free.RotateDown(dep))
+	}
+	if cand.Count() < nslots {
+		return nil, ErrNoCapacity{Want: nslots, Got: cand.Count()}
+	}
+	m := &Multicast{
+		Src:         src,
+		Dsts:        append([]topology.NodeID(nil), dsts...),
+		InjectSlots: firstN(cand, nslots),
+		Edges:       edges,
+		DestDepth:   destDepth,
+	}
+	a.commitMulticast(m)
+	return m, nil
+}
+
+func (a *Allocator) commitMulticast(m *Multicast) {
+	a.niTX[m.Src] = a.nodeOcc(a.niTX, m.Src).Union(m.InjectSlots)
+	for _, e := range m.Edges {
+		a.linkOcc[e.Link] = a.occ(a.linkOcc, e.Link).Union(m.InjectSlots.RotateUp(e.Depth))
+	}
+	for d, dep := range m.DestDepth {
+		a.niRX[d] = a.nodeOcc(a.niRX, d).Union(m.InjectSlots.RotateUp(dep))
+	}
+}
+
+// ReleaseMulticast returns a tree's slots to the pool.
+func (a *Allocator) ReleaseMulticast(m *Multicast) {
+	a.niTX[m.Src] = maskMinus(a.nodeOcc(a.niTX, m.Src), m.InjectSlots)
+	for _, e := range m.Edges {
+		a.linkOcc[e.Link] = maskMinus(a.occ(a.linkOcc, e.Link), m.InjectSlots.RotateUp(e.Depth))
+	}
+	for d, dep := range m.DestDepth {
+		a.niRX[d] = maskMinus(a.nodeOcc(a.niRX, d), m.InjectSlots.RotateUp(dep))
+	}
+}
+
+// Verify checks the global contention-free invariant from scratch given
+// all live allocations; it returns an error naming the first violation.
+// Used by property tests (experiment E11).
+func Verify(g *topology.Graph, wheel int, unicasts []*Unicast, multicasts []*Multicast) error {
+	linkUse := make(map[topology.LinkID]slots.Mask)
+	claim := func(l topology.LinkID, m slots.Mask) error {
+		cur, ok := linkUse[l]
+		if !ok {
+			cur = slots.NewMask(wheel)
+		}
+		if cur.Overlaps(m) {
+			return fmt.Errorf("alloc: link %d double-booked in slots %v", l, cur.Intersect(m).Slots())
+		}
+		linkUse[l] = cur.Union(m)
+		return nil
+	}
+	for _, u := range unicasts {
+		for _, pa := range u.Paths {
+			off := 0
+			for _, l := range pa.Path {
+				if err := claim(l, pa.InjectSlots.RotateUp(off)); err != nil {
+					return err
+				}
+				off += g.SlotAdvance(l)
+			}
+		}
+	}
+	for _, mc := range multicasts {
+		for _, e := range mc.Edges {
+			if err := claim(e.Link, mc.InjectSlots.RotateUp(e.Depth)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,65 @@
+package alloc
+
+import (
+	"fmt"
+
+	"daelite/internal/topology"
+)
+
+// Request is one connection demand inside a use-case: unicast when Dsts is
+// empty, multicast otherwise.
+type Request struct {
+	Src   topology.NodeID
+	Dst   topology.NodeID
+	Dsts  []topology.NodeID
+	Slots int
+	Opts  Options
+}
+
+// UseCaseAlloc is the result of a transactional use-case allocation.
+type UseCaseAlloc struct {
+	Unicasts   []*Unicast
+	Multicasts []*Multicast
+}
+
+// AllocateUseCase reserves every request of a use-case atomically: either
+// all requests fit simultaneously (and are committed), or none is and the
+// allocator is left untouched. This is the design-time planning step of
+// the multi-use-case flow the paper inherits from the Æthereal tooling
+// ([25]): the schedule for an application is computed before its execution
+// phase starts, and AllocateUseCase answers whether a use-case is
+// admissible at all.
+func (a *Allocator) AllocateUseCase(reqs []Request) (*UseCaseAlloc, error) {
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("alloc: empty use-case")
+	}
+	clone := a.Clone()
+	out := &UseCaseAlloc{}
+	for i, r := range reqs {
+		if len(r.Dsts) > 0 {
+			mc, err := clone.Multicast(r.Src, r.Dsts, r.Slots)
+			if err != nil {
+				return nil, fmt.Errorf("alloc: use-case request %d: %w", i, err)
+			}
+			out.Multicasts = append(out.Multicasts, mc)
+			continue
+		}
+		u, err := clone.Unicast(r.Src, r.Dst, r.Slots, r.Opts)
+		if err != nil {
+			return nil, fmt.Errorf("alloc: use-case request %d: %w", i, err)
+		}
+		out.Unicasts = append(out.Unicasts, u)
+	}
+	a.adopt(clone)
+	return out, nil
+}
+
+// ReleaseUseCase returns every reservation of a use-case to the pool.
+func (a *Allocator) ReleaseUseCase(uc *UseCaseAlloc) {
+	for _, u := range uc.Unicasts {
+		a.ReleaseUnicast(u)
+	}
+	for _, m := range uc.Multicasts {
+		a.ReleaseMulticast(m)
+	}
+}

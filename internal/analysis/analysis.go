@@ -1,0 +1,187 @@
+// Package analysis computes the analytical service guarantees that make a
+// TDM NoC usable for real-time systems: guaranteed bandwidth per
+// connection, worst-case scheduling latency (the wait for the next owned
+// slot), worst-case end-to-end latency, and the bandwidth overheads the
+// paper quantifies for aelite (packet headers, reserved configuration
+// slots). Simulation results are checked against these bounds in tests —
+// the measured value may never exceed the guarantee.
+package analysis
+
+import (
+	"math"
+
+	"daelite/internal/slots"
+)
+
+// GuaranteedBandwidth returns the guaranteed throughput of a reservation
+// in words per cycle: count slots of a wheel-slot wheel, each slot
+// carrying its full payload (daelite has no header overhead).
+func GuaranteedBandwidth(mask slots.Mask) float64 {
+	return float64(mask.Count()) / float64(mask.Size)
+}
+
+// EffectiveBandwidthAelite returns the payload throughput of an aelite
+// reservation in words per cycle: each packet of up to span consecutive
+// slots spends one word on the header. span is the typical consecutive-
+// slot run (1..3).
+func EffectiveBandwidthAelite(mask slots.Mask, slotWords, span int) float64 {
+	if span < 1 {
+		span = 1
+	}
+	if span > 3 {
+		span = 3
+	}
+	raw := float64(mask.Count()) / float64(mask.Size)
+	payloadPerPacket := float64(span*slotWords - 1)
+	return raw * payloadPerPacket / float64(span*slotWords)
+}
+
+// HeaderOverheadAelite returns the fraction of reserved bandwidth lost to
+// headers for a given packet span: 1/(span*slotWords). With 3-word slots
+// this brackets the paper's 11 % (span 3) to 33 % (span 1).
+func HeaderOverheadAelite(slotWords, span int) float64 {
+	if span < 1 {
+		span = 1
+	}
+	if span > 3 {
+		span = 3
+	}
+	return 1 / float64(span*slotWords)
+}
+
+// ConfigSlotLoss returns the fraction of NI-link bandwidth aelite loses to
+// its reserved configuration slots: reserved/wheel (the paper's 6.25 % at
+// one slot of a 16-slot wheel). daelite's loss is zero — its configuration
+// travels on dedicated links.
+func ConfigSlotLoss(reserved, wheel int) float64 {
+	return float64(reserved) / float64(wheel)
+}
+
+// MaxSlotGapCycles returns the worst-case scheduling latency of a
+// reservation in cycles: the longest wait from a word becoming ready at
+// the NI until the start of the next owned slot.
+func MaxSlotGapCycles(mask slots.Mask, slotWords int) int {
+	ss := mask.Slots()
+	if len(ss) == 0 {
+		return math.MaxInt32
+	}
+	if len(ss) == mask.Size {
+		return slotWords // every slot owned: at most one slot of wait
+	}
+	maxGap := 0
+	for i, s := range ss {
+		next := ss[(i+1)%len(ss)]
+		gap := next - s
+		if gap <= 0 {
+			gap += mask.Size
+		}
+		if gap > maxGap {
+			maxGap = gap
+		}
+	}
+	return maxGap * slotWords
+}
+
+// PathLatencyCycles returns the network traversal latency of a daelite
+// path of links hops: two cycles per hop (link + crossbar registers).
+func PathLatencyCycles(links int) int { return 2 * links }
+
+// PathLatencyCyclesPipelined returns the traversal latency of a path
+// whose total slot advance (standard hops plus pipeline stages of long or
+// mesochronous links) is advance slots of slotWords words each: every
+// slot of advance costs slotWords cycles.
+func PathLatencyCyclesPipelined(advance, slotWords int) int {
+	return advance * slotWords
+}
+
+// PathLatencyCyclesAelite returns the aelite traversal latency over the
+// same path: three cycles per router plus the NI ingress registers. A path
+// of L links visits L-1 routers.
+func PathLatencyCyclesAelite(links int) int {
+	routers := links - 1
+	if routers < 0 {
+		routers = 0
+	}
+	return 3*routers + 2
+}
+
+// WorstCaseLatency bounds the end-to-end latency of a word on a daelite
+// connection: worst scheduling wait plus slot serialization plus path
+// traversal.
+func WorstCaseLatency(mask slots.Mask, slotWords, pathLinks int) int {
+	return MaxSlotGapCycles(mask, slotWords) + slotWords + PathLatencyCycles(pathLinks)
+}
+
+// SetupWordsDaelite returns the number of 7-bit configuration words needed
+// to set up one daelite path of pathLinks links (elements = links + 1
+// pairs), as in the paper's "ideal" Table III rows: header, mask words,
+// and two words per element.
+func SetupWordsDaelite(pathLinks, wheel int) int {
+	elements := pathLinks + 1
+	return 1 + (wheel+6)/7 + 2*elements
+}
+
+// SetupCyclesDaeliteIdeal returns the analytic set-up time of a daelite
+// connection: forward and reverse path words serialized one per cycle,
+// plus tree propagation to the farthest affected element and the
+// cool-down after each packet.
+func SetupCyclesDaeliteIdeal(pathLinks, wheel, treeDepth, cooldown int) int {
+	words := SetupWordsDaelite(pathLinks, wheel) + SetupWordsDaelite(pathLinks, wheel)
+	propagation := 2 * (treeDepth + 1)
+	return words + propagation + 2*cooldown
+}
+
+// SetupOpsAelite returns the number of register-write round trips needed
+// to set up one aelite connection: route, remote queue, credit and flag
+// registers plus one write per reserved slot, at each endpoint.
+func SetupOpsAelite(slotsFwd, slotsRev int) int {
+	return (4 + slotsFwd) + (4 + slotsRev)
+}
+
+// SetupCyclesAeliteIdeal estimates aelite set-up time: each operation is a
+// request and acknowledgement over the network (3 cycles per router hop
+// each way) plus an average half-wheel wait for the configuration slot on
+// both paths.
+func SetupCyclesAeliteIdeal(slotsFwd, slotsRev, hops, wheel, slotWords int) int {
+	ops := SetupOpsAelite(slotsFwd, slotsRev)
+	slotWait := wheel * slotWords / 2
+	roundTrip := 2*(3*hops+2) + 2*slotWait
+	return ops * roundTrip
+}
+
+// LRServer is the latency-rate abstraction of a TDM connection, the form
+// in which NoC guarantees enter system-level real-time analysis (the
+// CoMPSoC verification flow of [15]): after at most Theta cycles of
+// initial latency the connection serves at least Rho words per cycle.
+type LRServer struct {
+	// Theta is the service latency in cycles.
+	Theta float64
+	// Rho is the guaranteed rate in words per cycle.
+	Rho float64
+}
+
+// LRServerFor derives the latency-rate parameters of a daelite
+// reservation: the worst-case scheduling wait plus traversal is the
+// latency; the slot share is the rate.
+func LRServerFor(mask slots.Mask, slotWords, pathLinks int) LRServer {
+	return LRServer{
+		Theta: float64(WorstCaseLatency(mask, slotWords, pathLinks)),
+		Rho:   GuaranteedBandwidth(mask),
+	}
+}
+
+// MaxDelay bounds the delay of any word of a (sigma, rho)-constrained
+// arrival stream (burst size sigma words, long-term rate rho <= Rho)
+// through the server: Theta + sigma/Rho.
+func (s LRServer) MaxDelay(sigma float64) float64 {
+	if s.Rho <= 0 {
+		return math.Inf(1)
+	}
+	return s.Theta + sigma/s.Rho
+}
+
+// MaxBacklog bounds the words queued at the source: sigma plus what
+// arrives during the service latency.
+func (s LRServer) MaxBacklog(sigma, rho float64) float64 {
+	return sigma + rho*s.Theta
+}

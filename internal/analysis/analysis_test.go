@@ -1,0 +1,188 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"daelite/internal/slots"
+)
+
+func TestGuaranteedBandwidth(t *testing.T) {
+	if got := GuaranteedBandwidth(slots.MaskOf(8, 0, 1)); got != 0.25 {
+		t.Fatalf("bandwidth = %v, want 0.25", got)
+	}
+	if got := GuaranteedBandwidth(slots.MaskOf(16, 0)); got != 1.0/16 {
+		t.Fatalf("bandwidth = %v", got)
+	}
+}
+
+// TestHeaderOverheadBrackets pins the paper's numbers: aelite header
+// overhead is 33% for one-slot packets and 11% for three-slot packets;
+// daelite has none.
+func TestHeaderOverheadBrackets(t *testing.T) {
+	if got := HeaderOverheadAelite(3, 1); got < 0.33 || got > 0.34 {
+		t.Fatalf("1-slot packet overhead = %v, want ~1/3", got)
+	}
+	if got := HeaderOverheadAelite(3, 3); got < 0.11 || got > 0.12 {
+		t.Fatalf("3-slot packet overhead = %v, want ~1/9", got)
+	}
+	// Clamping.
+	if HeaderOverheadAelite(3, 0) != HeaderOverheadAelite(3, 1) {
+		t.Fatal("span clamp low broken")
+	}
+	if HeaderOverheadAelite(3, 9) != HeaderOverheadAelite(3, 3) {
+		t.Fatal("span clamp high broken")
+	}
+}
+
+func TestEffectiveBandwidthConsistent(t *testing.T) {
+	mask := slots.MaskOf(16, 0, 4, 8, 12)
+	raw := GuaranteedBandwidth(mask)
+	for span := 1; span <= 3; span++ {
+		eff := EffectiveBandwidthAelite(mask, 3, span)
+		want := raw * (1 - HeaderOverheadAelite(3, span))
+		if diff := eff - want; diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("span %d: eff %v != raw*(1-ovh) %v", span, eff, want)
+		}
+	}
+}
+
+// TestConfigSlotLoss pins the paper's 6.25% at a 16-slot wheel.
+func TestConfigSlotLoss(t *testing.T) {
+	if got := ConfigSlotLoss(1, 16); got != 0.0625 {
+		t.Fatalf("loss = %v, want 0.0625", got)
+	}
+	if got := ConfigSlotLoss(1, 32); got != 0.03125 {
+		t.Fatalf("loss = %v", got)
+	}
+}
+
+func TestMaxSlotGapCycles(t *testing.T) {
+	// Slots {0,4} of 8 with 2-word slots: worst gap is 4 slots = 8
+	// cycles.
+	if got := MaxSlotGapCycles(slots.MaskOf(8, 0, 4), 2); got != 8 {
+		t.Fatalf("gap = %d, want 8", got)
+	}
+	// A single slot waits a full wheel.
+	if got := MaxSlotGapCycles(slots.MaskOf(8, 3), 2); got != 16 {
+		t.Fatalf("gap = %d, want 16", got)
+	}
+	// All slots owned: one slot.
+	full := slots.Mask{Bits: 0xFF, Size: 8}
+	if got := MaxSlotGapCycles(full, 2); got != 2 {
+		t.Fatalf("gap = %d, want 2", got)
+	}
+	// Empty mask: effectively unbounded.
+	if got := MaxSlotGapCycles(slots.NewMask(8), 2); got < 1<<30 {
+		t.Fatalf("empty mask gap = %d", got)
+	}
+}
+
+func TestMaxSlotGapProperty(t *testing.T) {
+	f := func(bits uint16, sw uint8) bool {
+		mask := slots.Mask{Bits: uint64(bits), Size: 16}
+		if mask.Empty() {
+			return true
+		}
+		slotWords := int(sw%3) + 1
+		gap := MaxSlotGapCycles(mask, slotWords)
+		// Bounded by a full wheel, at least one slot.
+		return gap >= slotWords && gap <= 16*slotWords
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSmallSlotsImproveSchedulingLatency is experiment E8's analytical
+// core: with the same bandwidth fraction, smaller slots reduce the
+// worst-case wait. daelite can use 2-word (even 1-word) slots; aelite is
+// stuck at 3 because of header amortization.
+func TestSmallSlotsImproveSchedulingLatency(t *testing.T) {
+	mask := slots.MaskOf(8, 0, 4)
+	w1 := MaxSlotGapCycles(mask, 1)
+	w2 := MaxSlotGapCycles(mask, 2)
+	w3 := MaxSlotGapCycles(mask, 3)
+	if !(w1 < w2 && w2 < w3) {
+		t.Fatalf("scheduling latency not monotone in slot size: %d %d %d", w1, w2, w3)
+	}
+}
+
+func TestPathLatency(t *testing.T) {
+	// 5-link daelite path: 10 cycles. Matches the measured value in
+	// core's TestTraversalLatencyTwoCyclesPerHop.
+	if got := PathLatencyCycles(5); got != 10 {
+		t.Fatalf("daelite latency = %d", got)
+	}
+	// Same path in aelite: 4 routers x 3 + 2 = 14, as measured in the
+	// aelite package test.
+	if got := PathLatencyCyclesAelite(5); got != 14 {
+		t.Fatalf("aelite latency = %d", got)
+	}
+	if PathLatencyCyclesAelite(0) != 2 {
+		t.Fatal("degenerate path latency wrong")
+	}
+	// The reduction for long paths approaches the paper's 33%.
+	d := float64(PathLatencyCycles(10))
+	a := float64(PathLatencyCyclesAelite(10) - 2) // router portion
+	if red := 1 - (d-2)/a; red < 0.30 || red > 0.36 {
+		t.Fatalf("per-hop latency reduction = %.2f, want ~0.33", red)
+	}
+}
+
+func TestWorstCaseLatencyComposition(t *testing.T) {
+	mask := slots.MaskOf(8, 0)
+	got := WorstCaseLatency(mask, 2, 4)
+	want := 16 + 2 + 8
+	if got != want {
+		t.Fatalf("WCL = %d, want %d", got, want)
+	}
+}
+
+// TestSetupWordsMatchesFig6 pins the paper's Fig. 6 example: an 8-slot
+// wheel and a 3-link path need 1 header + 2 mask words + 4 pairs x 2 = 11
+// words — the three 32-bit host words of the example.
+func TestSetupWordsMatchesFig6(t *testing.T) {
+	if got := SetupWordsDaelite(3, 8); got != 11 {
+		t.Fatalf("setup words = %d, want 11", got)
+	}
+}
+
+func TestSetupTimeModels(t *testing.T) {
+	d := SetupCyclesDaeliteIdeal(4, 8, 4, 4)
+	a := SetupCyclesAeliteIdeal(2, 1, 4, 16, 3)
+	if d <= 0 || a <= 0 {
+		t.Fatal("non-positive setup estimates")
+	}
+	// The order-of-magnitude claim must hold analytically too.
+	if ratio := float64(a) / float64(d); ratio < 5 {
+		t.Fatalf("aelite/daelite setup ratio = %.1f, want >= 5", ratio)
+	}
+	// daelite set-up is independent of slot count, aelite's is not.
+	if SetupCyclesAeliteIdeal(8, 1, 4, 16, 3) <= a {
+		t.Fatal("aelite setup not monotone in slots")
+	}
+}
+
+func TestLRServer(t *testing.T) {
+	mask := slots.MaskOf(8, 0, 4)
+	s := LRServerFor(mask, 2, 4)
+	if s.Rho != 0.25 {
+		t.Fatalf("rho = %v", s.Rho)
+	}
+	if s.Theta != float64(WorstCaseLatency(mask, 2, 4)) {
+		t.Fatalf("theta = %v", s.Theta)
+	}
+	// A burst of 8 words adds 8/0.25 = 32 cycles to the bound.
+	if got := s.MaxDelay(8); got != s.Theta+32 {
+		t.Fatalf("MaxDelay = %v", got)
+	}
+	if got := s.MaxBacklog(8, 0.1); got != 8+0.1*s.Theta {
+		t.Fatalf("MaxBacklog = %v", got)
+	}
+	zero := LRServer{}
+	if !math.IsInf(zero.MaxDelay(1), 1) {
+		t.Fatal("zero-rate server must have infinite delay bound")
+	}
+}

@@ -1,0 +1,173 @@
+package area
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTableIIMatchesPaperShape(t *testing.T) {
+	rows := TableII(DefaultGateModel())
+	if len(rows) != 10 {
+		t.Fatalf("Table II has %d rows, want 10", len(rows))
+	}
+	for _, r := range rows {
+		// daelite must be smaller in every row.
+		if r.Reduction <= 0 {
+			t.Errorf("%s (%s): daelite not smaller (reduction %.1f%%)", r.Name, r.Desc, r.Reduction*100)
+		}
+		// And within a few points of the paper's reported reduction.
+		if diff := math.Abs(r.Reduction - r.PaperReduction); diff > 0.07 {
+			t.Errorf("%s (%s): reduction %.1f%% deviates from paper's %.1f%% by %.1f points",
+				r.Name, r.Desc, r.Reduction*100, r.PaperReduction*100, diff*100)
+		}
+	}
+	// Ordering claims: the big wins are against buffered routers
+	// (packet-switched Wolkotte row > 90%), the small wins against
+	// minimal ones (Quarc < 20%).
+	byName := func(name, desc string) TableIIRow {
+		for _, r := range rows {
+			if r.Name == name && r.Desc == desc {
+				return r
+			}
+		}
+		t.Fatalf("row %s %s missing", name, desc)
+		return TableIIRow{}
+	}
+	if r := byName("Wolkotte [33]", "packet switched router (130nm)"); r.Reduction < 0.88 {
+		t.Errorf("packet-switched reduction %.1f%% < 88%%", r.Reduction*100)
+	}
+	if r := byName("Quarc [24]", "8-port router (130nm)"); r.Reduction > 0.25 {
+		t.Errorf("Quarc reduction %.1f%% > 25%%", r.Reduction*100)
+	}
+}
+
+func TestRouterAreaMonotonicity(t *testing.T) {
+	m := DefaultGateModel()
+	// More ports cost more.
+	if m.DaeliteRouterGE(5, LinkWidth, 16, 2) <= m.DaeliteRouterGE(4, LinkWidth, 16, 2) {
+		t.Error("daelite router area not monotone in ports")
+	}
+	// More slots cost more (bigger tables).
+	if m.DaeliteRouterGE(5, LinkWidth, 32, 2) <= m.DaeliteRouterGE(5, LinkWidth, 16, 2) {
+		t.Error("daelite router area not monotone in slots")
+	}
+	// Wider links cost more.
+	if m.DaeliteRouterGE(5, 64, 16, 2) <= m.DaeliteRouterGE(5, 32, 16, 2) {
+		t.Error("daelite router area not monotone in width")
+	}
+	// aelite router has no slot table: its area must not depend on one,
+	// but it pays the third pipeline stage.
+	ae := m.AeliteRouterGE(5, LinkWidth)
+	da := m.DaeliteRouterGE(5, LinkWidth, 16, 2)
+	if ae <= 0 || da <= 0 {
+		t.Fatal("non-positive areas")
+	}
+}
+
+func TestVCRouterDominatesDaelite(t *testing.T) {
+	m := DefaultGateModel()
+	vc := m.VCRouterGE(5, LinkWidth, 4, 2)
+	da := m.DaeliteRouterGE(5, LinkWidth, 16, 2)
+	if vc <= da {
+		t.Fatalf("4-VC router (%.0f GE) not larger than daelite (%.0f GE)", vc, da)
+	}
+	// More VCs cost more.
+	if m.VCRouterGE(5, LinkWidth, 8, 2) <= vc {
+		t.Error("VC router area not monotone in VCs")
+	}
+}
+
+func TestPacketAndSDMModels(t *testing.T) {
+	m := DefaultGateModel()
+	if m.PacketRouterGE(5, LinkWidth, 8) <= m.PacketRouterGE(5, LinkWidth, 4) {
+		t.Error("packet router not monotone in buffer depth")
+	}
+	if m.SDMRouterGE(5, LinkWidth, 4) <= 0 {
+		t.Error("SDM router area not positive")
+	}
+}
+
+func TestNIAreaQueuesDominate(t *testing.T) {
+	m := DefaultGateModel()
+	small := m.DaeliteNIGE(8, 4, 8, 16)
+	big := m.DaeliteNIGE(8, 16, 32, 16)
+	if big <= small {
+		t.Error("NI area not monotone in queue depth")
+	}
+}
+
+func TestTechScaling(t *testing.T) {
+	ge := Float(10000)
+	if Um2(ge, Tech65) >= Um2(ge, Tech130) {
+		t.Error("65nm not denser than 130nm")
+	}
+	if Mm2(ge, Tech130) != Um2(ge, Tech130)/1e6 {
+		t.Error("unit conversion inconsistent")
+	}
+}
+
+// TestFrequencyClaims pins E12: daelite clocks faster than aelite because
+// it routes without looking at packet contents; both land near the paper's
+// unconstrained synthesis results at 65nm (925 vs 885 MHz).
+func TestFrequencyClaims(t *testing.T) {
+	d := FMaxMHz(true, 16, 5, Tech65)
+	a := FMaxMHz(false, 16, 5, Tech65)
+	if d <= a {
+		t.Fatalf("daelite fmax %.0f <= aelite %.0f", d, a)
+	}
+	if d < 800 || d > 1000 {
+		t.Fatalf("daelite fmax %.0f outside [800,1000] MHz", d)
+	}
+	if a < 750 || a > 950 {
+		t.Fatalf("aelite fmax %.0f outside [750,950] MHz", a)
+	}
+	// Larger slot tables add mux depth and slow the clock.
+	if FMaxMHz(true, 64, 5, Tech65) >= FMaxMHz(true, 8, 5, Tech65) {
+		t.Error("fmax not monotone in table size")
+	}
+	// Older nodes are slower.
+	if FMaxMHz(true, 16, 5, Tech130) >= d {
+		t.Error("130nm not slower than 65nm")
+	}
+}
+
+func TestTableIFeatures(t *testing.T) {
+	feats := TableI()
+	if len(feats) != 7 {
+		t.Fatalf("Table I rows = %d, want 7", len(feats))
+	}
+	var daelite *Feature
+	for i := range feats {
+		if feats[i].Network == "daelite" {
+			daelite = &feats[i]
+		}
+	}
+	if daelite == nil {
+		t.Fatal("daelite row missing")
+	}
+	if daelite.LinkSharing != "TDM" || daelite.Routing != "distributed" {
+		t.Fatalf("daelite row wrong: %+v", daelite)
+	}
+}
+
+func TestSlicesModel(t *testing.T) {
+	m := DefaultGateModel()
+	// A pure-FF design is FF-bound, a pure-logic design LUT-bound.
+	ffBound := Slices(8000, 0, m)
+	lutBound := Slices(0, 8000, m)
+	if ffBound != 8000/m.FF/8 {
+		t.Fatalf("FF-bound slices = %v", ffBound)
+	}
+	if lutBound != 8000/5.5/4 {
+		t.Fatalf("LUT-bound slices = %v", lutBound)
+	}
+}
+
+func TestReduction(t *testing.T) {
+	if Reduction(10, 100) != 0.9 {
+		t.Fatal("Reduction math wrong")
+	}
+	if Reduction(10, 0) != 0 {
+		t.Fatal("Reduction by zero not guarded")
+	}
+}

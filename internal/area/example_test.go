@@ -1,0 +1,31 @@
+package area_test
+
+import (
+	"fmt"
+
+	"daelite/internal/area"
+)
+
+// Example prices a daelite router with the structural gate model and
+// scales it to two technology nodes.
+func Example() {
+	m := area.DefaultGateModel()
+	ge := m.DaeliteRouterGE(5, area.LinkWidth, 16, 2)
+	fmt.Printf("5-port router: %.0f gate equivalents\n", ge)
+	fmt.Printf("at 130nm: %s\n", area.FormatMm2(area.Mm2(ge, area.Tech130)))
+	fmt.Printf("at 65nm:  %s\n", area.FormatMm2(area.Mm2(ge, area.Tech65)))
+	// Output:
+	// 5-port router: 3844 gate equivalents
+	// at 130nm: 0.0192 mm²
+	// at 65nm:  0.0046 mm²
+}
+
+// ExampleFMaxMHz compares the routers' critical paths: daelite routes
+// without inspecting packet contents and clocks faster.
+func ExampleFMaxMHz() {
+	d := area.FMaxMHz(true, 16, 5, area.Tech65)
+	a := area.FMaxMHz(false, 16, 5, area.Tech65)
+	fmt.Printf("daelite %.0f MHz, aelite %.0f MHz\n", d, a)
+	// Output:
+	// daelite 926 MHz, aelite 833 MHz
+}

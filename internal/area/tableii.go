@@ -1,0 +1,158 @@
+package area
+
+// TableIIRow is one comparison row of the paper's Table II.
+type TableIIRow struct {
+	// Name and Desc identify the competitor and matched parameters.
+	Name, Desc string
+	Tech       Tech
+	// PublishedMm2 is the area reported in the literature for the
+	// competitor router (reconstructed constants, cited in the paper's
+	// reference list). For the FPGA row the unit is Virtex-6 slices.
+	PublishedMm2 Float
+	// OursMm2 is the daelite area from the structural model with
+	// matched parameters (same unit as PublishedMm2).
+	OursMm2 Float
+	// Reduction is (published-ours)/published.
+	Reduction Float
+	// PaperReduction is the value Table II reports, kept for
+	// regeneration checks.
+	PaperReduction Float
+}
+
+// aeliteMeshCfg is the paper's 2x2-mesh full-interconnect comparison
+// configuration: 32 TDM slots.
+func aeliteMeshCfg() MeshConfig {
+	return MeshConfig{
+		Width: 2, Height: 2,
+		Channels:  8,
+		SendDepth: 16, RecvDepth: 32,
+		Slots: 32, SlotWords: 2,
+	}
+}
+
+// TableII regenerates the paper's Table II from the structural model and
+// the literature constants.
+func TableII(m GateModel) []TableIIRow {
+	var rows []TableIIRow
+
+	// Row 1: aelite 2x2 mesh, 32 TDM slots, 65 nm TSMC — full
+	// interconnect, both sides modeled.
+	cfg := aeliteMeshCfg()
+	ours := Mm2(m.DaeliteMeshGE(cfg), Tech65)
+	other := Mm2(m.AeliteMeshGE(cfg), Tech65)
+	rows = append(rows, TableIIRow{
+		Name: "aelite", Desc: "2x2 mesh, 32 TDM slots (65nm TSMC)", Tech: Tech65,
+		PublishedMm2: other, OursMm2: ours,
+		Reduction: Reduction(ours, other), PaperReduction: 0.10,
+	})
+
+	// Row 2: aelite on FPGA, Virtex-6 slices. Interconnects are
+	// storage-heavy; daelite is more FF-dominated (slot tables in
+	// routers), aelite spends relatively more logic on header handling.
+	dFF, dLogic := InterconnectSplit(m.DaeliteMeshGE(cfg), 0.62)
+	aFF, aLogic := InterconnectSplit(m.AeliteMeshGE(cfg), 0.58)
+	oursSl := Slices(dFF, dLogic, m)
+	otherSl := Slices(aFF, aLogic, m)
+	rows = append(rows, TableIIRow{
+		Name: "aelite", Desc: "-/- (FPGA, Virtex-6 slices)", Tech: Tech{Name: "Virtex-6", NAND2um: 0},
+		PublishedMm2: otherSl, OursMm2: oursSl,
+		Reduction: Reduction(oursSl, otherSl), PaperReduction: 0.16,
+	})
+
+	// Router-level rows: our router with matched port count and link
+	// width versus the area reported in the literature.
+	type litRow struct {
+		name, desc string
+		tech       Tech
+		published  Float // mm², reconstructed from the cited papers
+		ports      int
+		slots      int
+		paper      Float
+	}
+	lits := []litRow{
+		{"artnoc [28]", "router, 2-flit buffers, 4 VCs (130nm)", Tech130, 0.0711, 5, 16, 0.73},
+		{"Wolkotte [33]", "circuit switched router (130nm)", Tech130, 0.0600, 5, 16, 0.68},
+		{"Wolkotte [33]", "packet switched router (130nm)", Tech130, 0.2133, 5, 16, 0.91},
+		{"Mango [7]", "router, 8 VCs (120nm)", Tech120, 0.1464, 5, 16, 0.89},
+		{"Quarc [24]", "8-port router (130nm)", Tech130, 0.0448, 8, 16, 0.15},
+		{"SPIN [2]", "8-port router (130nm)", Tech130, 0.1588, 8, 16, 0.76},
+		{"Banerjee [3]", "5-port router, 4 SDM lanes (90nm)", Tech90, 0.0567, 5, 16, 0.85},
+		{"xpipes lite [31]", "4-port router (130nm)", Tech130, 0.0659, 4, 16, 0.78},
+	}
+	for _, l := range lits {
+		ourGE := m.DaeliteRouterGE(l.ports, LinkWidth, l.slots, 2)
+		rows = append(rows, TableIIRow{
+			Name: l.name, Desc: l.desc, Tech: l.tech,
+			PublishedMm2: l.published, OursMm2: Mm2(ourGE, l.tech),
+			Reduction: Reduction(Mm2(ourGE, l.tech), l.published), PaperReduction: l.paper,
+		})
+	}
+	return rows
+}
+
+// --- Critical-path / frequency model (experiment E12) ---
+
+// LogicLevels approximates the longest combinational path through a
+// router, in equivalent gate levels. daelite routes purely on the packet
+// arrival time and its own slot table — a table-read mux plus the crossbar
+// — while aelite must decode the packet header and shift the route before
+// the crossbar, costing an extra level. The paper's unconstrained ASIC
+// synthesis saw 925 MHz (daelite) vs 885 MHz (aelite) at 65 nm.
+func LogicLevels(daelite bool, slot, ports int) Float {
+	xbar := Float(log2ceil(ports))
+	if daelite {
+		tableMux := Float(log2ceil(slot))
+		return 2 + tableMux + xbar // clk-to-q/setup margin + table read + crossbar
+	}
+	decode := Float(3) // header field extraction + length check
+	shift := Float(2)  // route shifter
+	return 2 + decode + shift + xbar
+}
+
+// LevelDelayPs gives the per-level delay of a technology node in
+// picoseconds (FO4-calibrated).
+func LevelDelayPs(t Tech) Float {
+	switch t.Name {
+	case "65nm":
+		return 120
+	case "90nm":
+		return 160
+	case "120nm":
+		return 210
+	case "130nm":
+		return 230
+	default:
+		return 120
+	}
+}
+
+// FMaxMHz estimates the maximum clock frequency of a router.
+func FMaxMHz(daelite bool, slot, ports int, t Tech) Float {
+	ps := LogicLevels(daelite, slot, ports) * LevelDelayPs(t)
+	return 1e6 / ps
+}
+
+// --- Table I feature matrix ---
+
+// Feature summarizes one network's service profile, mirroring Table I.
+type Feature struct {
+	Network         string
+	LinkSharing     string
+	Routing         string
+	ConnectionSetup string
+	FlowControl     string
+	ConnectionTypes string
+}
+
+// TableI returns the qualitative comparison the paper opens with.
+func TableI() []Feature {
+	return []Feature{
+		{"Aethereal", "TDM", "source/distributed", "GS/BE, guaranteed", "headers", "1-1, multicast via separate connections"},
+		{"aelite", "TDM", "source", "GS dedicated", "headers", "1-1, channel trees"},
+		{"daelite", "TDM", "distributed", "dedicated broadcast tree, guaranteed", "separate wire, TDM", "1-1, multicast"},
+		{"Kavaldjiev", "VCs", "source", "packet, BE", "none", "1-1"},
+		{"Wolkotte", "SDM", "distributed", "separate network", "separate wire", "1-1"},
+		{"Nostrum", "TDM, looped", "distributed (design-time)", "containers at runtime", "none", "1-1, multicast"},
+		{"SoCBUS", "none", "distributed", "packet, BE", "none", "1-1"},
+	}
+}

@@ -1,0 +1,159 @@
+package bus
+
+import (
+	"testing"
+
+	"daelite/internal/core"
+	"daelite/internal/phit"
+	"daelite/internal/topology"
+)
+
+func TestMemory(t *testing.T) {
+	m := NewMemory()
+	m.WriteWord(0x100, 0xAB)
+	if m.ReadWord(0x100) != 0xAB {
+		t.Fatal("read-after-write failed")
+	}
+	// Word addressing ignores the low two bits.
+	if m.ReadWord(0x102) != 0xAB {
+		t.Fatal("sub-word addressing broken")
+	}
+	if m.ReadWord(0x200) != 0 {
+		t.Fatal("uninitialized memory not zero")
+	}
+}
+
+func TestAddressMap(t *testing.T) {
+	a := NewAddressMap()
+	a.Map(0x4000_0000, 3)
+	if ch, ok := a.Lookup(0x4000_0FFC); !ok || ch != 3 {
+		t.Fatalf("lookup in page = %d %v", ch, ok)
+	}
+	if _, ok := a.Lookup(0x4000_1000); ok {
+		t.Fatal("lookup outside page succeeded")
+	}
+	// Config-word round trip.
+	a2 := NewAddressMap()
+	a2.ConfigWrite(MapConfigWord(0x4000_0000, 3))
+	if ch, ok := a2.Lookup(0x4000_0800); !ok || ch != 3 {
+		t.Fatal("ConfigWrite mapping failed")
+	}
+}
+
+func TestTransactionEncodeValidation(t *testing.T) {
+	if _, err := (Transaction{Kind: Write, Addr: 0, Data: nil}).encode(); err == nil {
+		t.Fatal("empty transaction accepted")
+	}
+	big := Transaction{Kind: Write, Addr: 0, Data: make([]phit.Word, 0x8000)}
+	if _, err := big.encode(); err == nil {
+		t.Fatal("oversized transaction accepted")
+	}
+}
+
+// platform builds a 2x2 daelite platform with one connection and the bus
+// stack on both ends.
+func platform(t *testing.T) (*core.Platform, *Initiator, *TargetShell, *Memory, *core.Connection) {
+	t.Helper()
+	p, err := core.NewMeshPlatform(topology.MeshSpec{Width: 2, Height: 2, NIsPerRouter: 1}, core.DefaultParams(), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := p.Open(core.ConnectionSpec{
+		Src: p.Mesh.NI(0, 0, 0), Dst: p.Mesh.NI(1, 1, 0), SlotsFwd: 2, SlotsRev: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AwaitOpen(c, 10000); err != nil {
+		t.Fatal(err)
+	}
+	amap := NewAddressMap()
+	amap.Map(0x1000_0000, c.SrcChannel)
+	ini := NewInitiator(p.Sim, "ini", p.NI(c.Spec.Src), amap)
+	mem := NewMemory()
+	tgt := NewTargetShell(p.Sim, "tgt", p.NI(c.Spec.Dst), mem)
+	tgt.WatchChannel(c.DstChannel)
+	return p, ini, tgt, mem, c
+}
+
+func TestWriteOverNoC(t *testing.T) {
+	p, ini, tgt, mem, _ := platform(t)
+	data := []phit.Word{0xA1, 0xB2, 0xC3}
+	if err := ini.Issue(Transaction{Kind: Write, Addr: 0x1000_0010, Data: data}); err != nil {
+		t.Fatal(err)
+	}
+	p.Run(400)
+	for i, w := range data {
+		if got := mem.ReadWord(0x1000_0010 + uint32(4*i)); got != w {
+			t.Fatalf("mem[%d] = %#x, want %#x", i, got, w)
+		}
+	}
+	writes, reads := tgt.Stats()
+	if writes != 1 || reads != 0 {
+		t.Fatalf("stats: %d writes %d reads", writes, reads)
+	}
+}
+
+func TestReadOverNoC(t *testing.T) {
+	p, ini, _, mem, _ := platform(t)
+	mem.WriteWord(0x1000_0020, 0x99)
+	mem.WriteWord(0x1000_0024, 0x88)
+	if err := ini.Issue(Transaction{Kind: Read, Addr: 0x1000_0020, Data: make([]phit.Word, 2)}); err != nil {
+		t.Fatal(err)
+	}
+	p.Run(600)
+	res, ok := ini.PopResult()
+	if !ok {
+		t.Fatal("no read result")
+	}
+	if len(res.Data) != 2 || res.Data[0] != 0x99 || res.Data[1] != 0x88 {
+		t.Fatalf("read data = %v", res.Data)
+	}
+	if _, ok := ini.PopResult(); ok {
+		t.Fatal("phantom result")
+	}
+}
+
+func TestBackToBackTransactions(t *testing.T) {
+	p, ini, _, mem, _ := platform(t)
+	for i := 0; i < 5; i++ {
+		if err := ini.Issue(Transaction{Kind: Write, Addr: 0x1000_0100 + uint32(16*i), Data: []phit.Word{phit.Word(i), phit.Word(i + 100)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ini.Issue(Transaction{Kind: Read, Addr: 0x1000_0100, Data: make([]phit.Word, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	p.Run(1500)
+	for i := 0; i < 5; i++ {
+		if got := mem.ReadWord(0x1000_0100 + uint32(16*i)); got != phit.Word(i) {
+			t.Fatalf("write %d missing: %#x", i, got)
+		}
+	}
+	res, ok := ini.PopResult()
+	if !ok || res.Data[0] != 0 {
+		t.Fatalf("read after writes = %v %v (ordering violated)", res, ok)
+	}
+}
+
+func TestUnmappedAddressRejected(t *testing.T) {
+	_, ini, _, _, _ := platform(t)
+	if err := ini.Issue(Transaction{Kind: Write, Addr: 0xDEAD_0000, Data: []phit.Word{1}}); err == nil {
+		t.Fatal("unmapped address accepted")
+	}
+}
+
+func TestPendingWordsDrain(t *testing.T) {
+	p, ini, _, _, c := platform(t)
+	big := make([]phit.Word, 40) // larger than the NI send queue
+	if err := ini.Issue(Transaction{Kind: Write, Addr: 0x1000_0000, Data: big}); err != nil {
+		t.Fatal(err)
+	}
+	if ini.PendingWords(c.SrcChannel) == 0 {
+		t.Fatal("nothing pending after large issue")
+	}
+	p.Run(2000)
+	if got := ini.PendingWords(c.SrcChannel); got != 0 {
+		t.Fatalf("pending words stuck: %d", got)
+	}
+}

@@ -1,0 +1,245 @@
+package cfgproto
+
+import (
+	"testing"
+	"testing/quick"
+
+	"daelite/internal/phit"
+	"daelite/internal/slots"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	for op := OpNop; op < numOps; op++ {
+		for count := 0; count <= MaxPairs; count++ {
+			gotOp, gotCount := ParseHeader(Header(op, count))
+			if gotOp != op || gotCount != count {
+				t.Fatalf("Header(%v,%d) parsed to %v,%d", op, count, gotOp, gotCount)
+			}
+		}
+	}
+}
+
+func TestHeaderPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Header(numOps, 0) },
+		func() { Header(OpNop, -1) },
+		func() { Header(OpNop, MaxPairs+1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMaskWords(t *testing.T) {
+	cases := map[int]int{1: 1, 7: 1, 8: 2, 14: 2, 16: 3, 32: 5, 64: 10}
+	for wheel, want := range cases {
+		if got := MaskWords(wheel); got != want {
+			t.Fatalf("MaskWords(%d) = %d, want %d", wheel, got, want)
+		}
+	}
+}
+
+// TestFig6MaskEncoding checks the paper's example layout: an 8-slot wheel
+// with slots {4,7} set transmits as two words.
+func TestFig6MaskEncoding(t *testing.T) {
+	m := slots.MaskOf(8, 4, 7)
+	words := EncodeMask(m)
+	if len(words) != 2 {
+		t.Fatalf("got %d words", len(words))
+	}
+	// 14-bit field: 00000010010000 -> word0 = 0000001 (slot 7), word1 =
+	// 0010000 (slot 4).
+	if words[0].Bits != 0x01 || words[1].Bits != 0x10 {
+		t.Fatalf("words = %#02x %#02x, want 0x01 0x10", words[0].Bits, words[1].Bits)
+	}
+	back, err := DecodeMask(words, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != m {
+		t.Fatalf("round trip %v != %v", back, m)
+	}
+}
+
+func TestMaskRoundTripProperty(t *testing.T) {
+	f := func(bits uint64, wheel8 uint8) bool {
+		wheel := int(wheel8%slots.MaxTableSize) + 1
+		var mask uint64
+		if wheel == 64 {
+			mask = ^uint64(0)
+		} else {
+			mask = 1<<uint(wheel) - 1
+		}
+		m := slots.Mask{Bits: bits & mask, Size: wheel}
+		back, err := DecodeMask(EncodeMask(m), wheel)
+		return err == nil && back == m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeMaskErrors(t *testing.T) {
+	if _, err := DecodeMask([]phit.ConfigWord{phit.NewConfigWord(1)}, 8); err == nil {
+		t.Fatal("wrong word count accepted")
+	}
+	// Bits beyond the wheel: word0 = 0x40 sets bit 13 of a 14-bit field,
+	// outside an 8-slot wheel.
+	bad := []phit.ConfigWord{phit.NewConfigWord(0x40), phit.NewConfigWord(0)}
+	if _, err := DecodeMask(bad, 8); err == nil {
+		t.Fatal("out-of-wheel bits accepted")
+	}
+}
+
+func TestPortSpecRouterRoundTrip(t *testing.T) {
+	for in := 0; in <= MaxRouterPort; in++ {
+		for out := 0; out <= MaxRouterPort; out++ {
+			w, err := RouterSpec(in, out).Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := DecodeRouterSpec(w)
+			if got.In != in || got.Out != out || got.ForNI {
+				t.Fatalf("round trip (%d,%d) -> %+v", in, out, got)
+			}
+		}
+	}
+	// Tear-down encoding.
+	w, err := RouterSpec(slots.NoInput, 3).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := DecodeRouterSpec(w)
+	if got.In != slots.NoInput || got.Out != 3 {
+		t.Fatalf("teardown round trip -> %+v", got)
+	}
+	if _, err := RouterSpec(8, 0).Encode(); err == nil {
+		t.Fatal("bad input port accepted")
+	}
+	if _, err := RouterSpec(0, 7).Encode(); err == nil {
+		t.Fatal("bad output port accepted")
+	}
+}
+
+func TestPortSpecNIRoundTrip(t *testing.T) {
+	for _, send := range []bool{false, true} {
+		for _, enable := range []bool{false, true} {
+			for ch := 0; ch <= MaxNIChannel; ch += 7 {
+				w, err := NISpec(send, enable, ch).Encode()
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := DecodeNISpec(w)
+				if got.Send != send || got.Enable != enable || got.Channel != ch || !got.ForNI {
+					t.Fatalf("round trip -> %+v", got)
+				}
+			}
+		}
+	}
+	if _, err := NISpec(true, true, 32).Encode(); err == nil {
+		t.Fatal("bad channel accepted")
+	}
+}
+
+func TestPathSetupWordsLength(t *testing.T) {
+	p := PathSetup{
+		Mask: slots.MaskOf(8, 4, 7),
+		Pairs: []Pair{
+			{Element: 11, Spec: NISpec(false, true, 0)},
+			{Element: 3, Spec: RouterSpec(1, 2)},
+			{Element: 2, Spec: RouterSpec(2, 1)},
+			{Element: 10, Spec: NISpec(true, true, 0)},
+		},
+	}
+	words, err := p.Words()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// header + 2 mask words + 4 pairs * 2 = 11 words, the count behind
+	// the paper's "3 data words" host-side example (3 x 32-bit carries 12
+	// symbols, one of them padding).
+	if len(words) != 11 {
+		t.Fatalf("words = %d, want 11", len(words))
+	}
+	if len(Pack32(words)) != 3 {
+		t.Fatalf("Pack32 length = %d, want 3", len(Pack32(words)))
+	}
+}
+
+func TestPathSetupValidation(t *testing.T) {
+	if _, err := (PathSetup{Mask: slots.NewMask(8)}).Words(); err == nil {
+		t.Fatal("empty pair list accepted")
+	}
+	long := PathSetup{Mask: slots.NewMask(8)}
+	for i := 0; i < MaxPairs+1; i++ {
+		long.Pairs = append(long.Pairs, Pair{Element: 1, Spec: RouterSpec(0, 0)})
+	}
+	if _, err := long.Words(); err == nil {
+		t.Fatal("oversized pair list accepted")
+	}
+	bad := PathSetup{Mask: slots.NewMask(8), Pairs: []Pair{{Element: 200, Spec: RouterSpec(0, 0)}}}
+	if _, err := bad.Words(); err == nil {
+		t.Fatal("bad element ID accepted")
+	}
+}
+
+func TestPack32RoundTrip(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) > 60 {
+			raw = raw[:60]
+		}
+		words := make([]phit.ConfigWord, len(raw))
+		for i, b := range raw {
+			words[i] = phit.NewConfigWord(b)
+		}
+		packed := Pack32(words)
+		back, err := Unpack32(packed, len(words))
+		if err != nil {
+			return false
+		}
+		for i := range words {
+			if back[i] != words[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnpack32Bounds(t *testing.T) {
+	if _, err := Unpack32([]uint32{0}, 5); err == nil {
+		t.Fatal("overlong unpack accepted")
+	}
+	if _, err := Unpack32(nil, -1); err == nil {
+		t.Fatal("negative count accepted")
+	}
+}
+
+func TestRegSelect(t *testing.T) {
+	r := RegSelect(RegCredit, 13)
+	if RegClass(r) != RegCredit || RegChannel(r) != 13 {
+		t.Fatalf("RegSelect round trip failed: %#x", r)
+	}
+	r = RegSelect(RegBus, 31)
+	if RegClass(r) != RegBus || RegChannel(r) != 31 {
+		t.Fatalf("RegSelect round trip failed: %#x", r)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	want := map[Op]string{OpNop: "nop", OpPathSetup: "path-setup", OpWriteReg: "write-reg", OpReadReg: "read-reg", Op(9): "op(9)"}
+	for op, s := range want {
+		if op.String() != s {
+			t.Fatalf("Op(%d).String() = %q, want %q", op, op.String(), s)
+		}
+	}
+}

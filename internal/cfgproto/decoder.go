@@ -1,0 +1,177 @@
+package cfgproto
+
+import (
+	"fmt"
+
+	"daelite/internal/phit"
+	"daelite/internal/slots"
+)
+
+// Sink receives the decoded effects of configuration packets addressed to
+// one element. Router and NI configuration submodules implement it.
+type Sink interface {
+	// ApplySlots updates the element's slot table: the slots in mask get
+	// the duty described by spec. The mask is already rotated for this
+	// element's position in the packet.
+	ApplySlots(mask slots.Mask, spec PortSpec)
+	// WriteReg writes a 7-bit value to a register.
+	WriteReg(reg, value uint8)
+	// ReadReg reads a register for the reverse path; ok=false produces
+	// no response (reserved selects).
+	ReadReg(reg uint8) (value uint8, ok bool)
+}
+
+// Decoder is the per-element configuration state machine. Feed it exactly
+// the word stream appearing on the element's forward configuration input,
+// one call per valid cycle.
+type Decoder struct {
+	id    int
+	wheel int
+	sink  Sink
+	forNI bool
+
+	state     decodeState
+	op        Op
+	remaining int // pairs/triples left in the packet
+	maskBuf   []phit.ConfigWord
+	mask      slots.Mask
+	curElem   int
+	curReg    uint8
+	matched   bool
+}
+
+type decodeState int
+
+const (
+	stIdle decodeState = iota
+	stMask
+	stPairID
+	stPairSpec
+	stTripleID
+	stTripleReg
+	stTripleVal
+	stReadID
+	stReadReg
+)
+
+// NewDecoder returns a decoder for the element with the given ID on a wheel
+// of the given size.
+func NewDecoder(id, wheel int, sink Sink) *Decoder {
+	if id < 0 || id >= MaxElements {
+		panic(fmt.Sprintf("cfgproto: element ID %d out of range", id))
+	}
+	return &Decoder{id: id, wheel: wheel, sink: sink}
+}
+
+// Busy reports whether the decoder is mid-packet.
+func (d *Decoder) Busy() bool { return d.state != stIdle }
+
+// Feed consumes one configuration word and returns a reverse-path response
+// when the word completes a read addressed to this element.
+func (d *Decoder) Feed(w phit.ConfigWord) phit.Response {
+	if !w.Valid {
+		return phit.Response{}
+	}
+	switch d.state {
+	case stIdle:
+		op, count := ParseHeader(w)
+		d.op = op
+		d.remaining = count
+		switch op {
+		case OpPathSetup:
+			d.maskBuf = d.maskBuf[:0]
+			d.state = stMask
+		case OpWriteReg:
+			if count > 0 {
+				d.state = stTripleID
+			}
+		case OpReadReg:
+			if count > 0 {
+				d.state = stReadID
+			}
+		default: // OpNop and unknown opcodes are skipped
+		}
+	case stMask:
+		d.maskBuf = append(d.maskBuf, w)
+		if len(d.maskBuf) == MaskWords(d.wheel) {
+			m, err := DecodeMask(d.maskBuf, d.wheel)
+			if err != nil {
+				// Malformed masks abort the packet; real hardware
+				// would raise an error flag. The packet length is
+				// still honoured via remaining pairs.
+				m = slots.NewMask(d.wheel)
+			}
+			d.mask = m
+			if d.remaining > 0 {
+				d.state = stPairID
+			} else {
+				d.state = stIdle
+			}
+		}
+	case stPairID:
+		d.curElem = int(w.Bits)
+		d.matched = d.curElem == d.id
+		d.state = stPairSpec
+	case stPairSpec:
+		if d.matched {
+			d.sink.ApplySlots(d.mask, d.decodeSpec(w))
+		}
+		// Every element rotates after every pair, matched or not, so
+		// the rotation count always equals the pair index.
+		d.mask = d.mask.RotateDown(1)
+		d.remaining--
+		if d.remaining > 0 {
+			d.state = stPairID
+		} else {
+			d.state = stIdle
+		}
+	case stTripleID:
+		d.curElem = int(w.Bits)
+		d.matched = d.curElem == d.id
+		d.state = stTripleReg
+	case stTripleReg:
+		d.curReg = w.Bits
+		d.state = stTripleVal
+	case stTripleVal:
+		if d.matched {
+			d.sink.WriteReg(d.curReg, w.Bits)
+		}
+		d.remaining--
+		if d.remaining > 0 {
+			d.state = stTripleID
+		} else {
+			d.state = stIdle
+		}
+	case stReadID:
+		d.curElem = int(w.Bits)
+		d.matched = d.curElem == d.id
+		d.state = stReadReg
+	case stReadReg:
+		d.state = stIdle
+		if d.matched {
+			if v, ok := d.sink.ReadReg(w.Bits); ok {
+				return phit.Response{Valid: true, Bits: v & 0x7F}
+			}
+		}
+	}
+	return phit.Response{}
+}
+
+// decodeSpec picks the router or NI layout based on the element kind the
+// decoder serves. The same wire bits are interpreted differently, exactly
+// as in the hardware where routers and NIs have distinct configuration
+// submodules.
+func (d *Decoder) decodeSpec(w phit.ConfigWord) PortSpec {
+	if d.forNI {
+		return DecodeNISpec(w)
+	}
+	return DecodeRouterSpec(w)
+}
+
+// NewNIDecoder returns a decoder interpreting port specs with the NI
+// layout.
+func NewNIDecoder(id, wheel int, sink Sink) *Decoder {
+	d := NewDecoder(id, wheel, sink)
+	d.forNI = true
+	return d
+}

@@ -1,0 +1,208 @@
+// Package configtree implements the host side of the daelite configuration
+// infrastructure: the configuration module through which the host IP has
+// exclusive control over the dedicated broadcast configuration network.
+//
+// The module accepts normal (32-bit) write operations from the host,
+// serializes them into 7-bit configuration words transmitted one per cycle
+// over the tree's forward links, enforces a cool-down period after each
+// complete packet during which no new packets are accepted (giving routers
+// and NIs time to internally update their slot tables), and collects
+// responses converging on the reverse path. Only one read request may be
+// outstanding at a time — the reverse path has no arbitration.
+package configtree
+
+import (
+	"fmt"
+
+	"daelite/internal/cfgproto"
+	"daelite/internal/phit"
+	"daelite/internal/sim"
+)
+
+// Params configures the module.
+type Params struct {
+	// Cooldown is the number of idle cycles enforced after the last
+	// word of each packet before the next packet may start.
+	Cooldown int
+	// QueueDepth bounds the number of serialized words buffered in the
+	// module (the host observes back-pressure through Busy).
+	QueueDepth int
+}
+
+// DefaultParams returns the parameters used throughout the evaluation: a
+// cool-down of 4 cycles and a generous staging queue.
+func DefaultParams() Params {
+	return Params{Cooldown: 4, QueueDepth: 256}
+}
+
+// Module is the host configuration module, a sim.Component driving the
+// root of the configuration tree.
+type Module struct {
+	name   string
+	params Params
+
+	fwd  *sim.Reg[phit.ConfigWord] // root forward wire (owned)
+	resp *sim.Reg[phit.Response]   // root reverse wire (owned by root element)
+
+	// queue holds words awaiting transmission; bounds holds cumulative
+	// word counts (since the last rebase) at which packets end, so the
+	// cool-down can be inserted between packets. Submissions are staged
+	// in pending and folded in at Commit for two-phase safety.
+	queue    []phit.ConfigWord
+	bounds   []int
+	sent     int // words consumed since the last boundary rebase
+	cooldown int // cycles of cool-down remaining
+	pending  []pendingPacket
+
+	// read transaction state
+	readPending  bool
+	readValue    uint8
+	readValid    bool
+	packetsSent  uint64
+	wordsSent    uint64
+	lastPktCycle uint64
+}
+
+// New creates a configuration module.
+func New(s *sim.Simulator, name string, params Params) *Module {
+	if params.Cooldown < 0 {
+		params.Cooldown = 0
+	}
+	if params.QueueDepth <= 0 {
+		params.QueueDepth = 256
+	}
+	m := &Module{
+		name:   name,
+		params: params,
+		fwd:    sim.NewReg(s, phit.ConfigWord{}),
+	}
+	s.Add(m)
+	return m
+}
+
+// Name implements sim.Component.
+func (m *Module) Name() string { return m.name }
+
+// ForwardWire returns the root forward wire; connect it to the root
+// element's configuration input.
+func (m *Module) ForwardWire() *sim.Reg[phit.ConfigWord] { return m.fwd }
+
+// ConnectResponse attaches the root element's reverse wire.
+func (m *Module) ConnectResponse(w *sim.Reg[phit.Response]) { m.resp = w }
+
+type pendingPacket struct {
+	words  []phit.ConfigWord
+	isRead bool
+}
+
+// SubmitPacket queues a complete configuration packet for transmission,
+// starting no earlier than the next cycle. It fails when the staging queue
+// would overflow or when a read is already outstanding (including one
+// submitted this cycle) and the packet is another read.
+func (m *Module) SubmitPacket(words []phit.ConfigWord) error {
+	if len(words) == 0 {
+		return fmt.Errorf("configtree: empty packet")
+	}
+	staged := len(m.queue)
+	readStaged := m.readPending
+	for _, p := range m.pending {
+		staged += len(p.words)
+		readStaged = readStaged || p.isRead
+	}
+	if staged+len(words) > m.params.QueueDepth {
+		return fmt.Errorf("configtree: staging queue full (%d+%d > %d)", staged, len(words), m.params.QueueDepth)
+	}
+	op, _ := cfgproto.ParseHeader(words[0])
+	isRead := op == cfgproto.OpReadReg
+	if isRead && readStaged {
+		return fmt.Errorf("configtree: a read is already outstanding")
+	}
+	cp := make([]phit.ConfigWord, len(words))
+	copy(cp, words)
+	m.pending = append(m.pending, pendingPacket{words: cp, isRead: isRead})
+	return nil
+}
+
+// SubmitHostWords accepts packed 32-bit host words (the paper's "normal
+// write operations") holding exactly count 7-bit symbols, which must form
+// one complete packet.
+func (m *Module) SubmitHostWords(packed []uint32, count int) error {
+	words, err := cfgproto.Unpack32(packed, count)
+	if err != nil {
+		return err
+	}
+	return m.SubmitPacket(words)
+}
+
+// Busy reports whether the module still has words to send (including
+// packets submitted this cycle) or is in cool-down.
+func (m *Module) Busy() bool {
+	return len(m.queue) > 0 || m.cooldown > 0 || len(m.pending) > 0
+}
+
+// ReadOutstanding reports whether a read response is still awaited.
+func (m *Module) ReadOutstanding() bool { return m.readPending }
+
+// ReadValue returns the last read response, valid after ReadOutstanding
+// becomes false.
+func (m *Module) ReadValue() (uint8, bool) { return m.readValue, m.readValid }
+
+// Stats returns packets and words transmitted so far.
+func (m *Module) Stats() (packets, words uint64) { return m.packetsSent, m.wordsSent }
+
+// LastPacketCycle returns the cycle at which the final word of the most
+// recent packet was driven onto the tree.
+func (m *Module) LastPacketCycle() uint64 { return m.lastPktCycle }
+
+// Eval implements sim.Component.
+func (m *Module) Eval(cycle uint64) {
+	// Collect a response if one arrives.
+	if m.resp != nil {
+		if r := m.resp.Get(); r.Valid && m.readPending {
+			m.readPending = false
+			m.readValue = r.Bits
+			m.readValid = true
+		}
+	}
+
+	if m.cooldown > 0 {
+		m.cooldown--
+		m.fwd.Set(phit.ConfigWord{})
+		return
+	}
+	if len(m.queue) == 0 {
+		m.fwd.Set(phit.ConfigWord{})
+		return
+	}
+	w := m.queue[0]
+	m.queue = m.queue[1:]
+	m.sent++
+	m.wordsSent++
+	m.fwd.Set(w)
+	// Crossing a packet boundary starts the cool-down.
+	if len(m.bounds) > 0 && m.sent == m.bounds[0] {
+		m.cooldown = m.params.Cooldown
+		m.packetsSent++
+		m.lastPktCycle = cycle + 1 // the word appears on the wire at cycle+1
+		// Rebase boundary bookkeeping.
+		consumed := m.bounds[0]
+		m.bounds = m.bounds[1:]
+		for i := range m.bounds {
+			m.bounds[i] -= consumed
+		}
+		m.sent = 0
+	}
+}
+
+// Commit implements sim.Component: fold in packets submitted during Eval.
+func (m *Module) Commit() {
+	for _, p := range m.pending {
+		m.queue = append(m.queue, p.words...)
+		m.bounds = append(m.bounds, m.sent+len(m.queue))
+		if p.isRead {
+			m.readPending = true
+			m.readValid = false
+		}
+	}
+	m.pending = m.pending[:0]
+}

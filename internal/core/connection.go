@@ -1,0 +1,361 @@
+package core
+
+import (
+	"fmt"
+
+	"daelite/internal/alloc"
+	"daelite/internal/cfgproto"
+	"daelite/internal/phit"
+	"daelite/internal/topology"
+)
+
+// ConnectionSpec describes a requested connection.
+type ConnectionSpec struct {
+	// Src is the source NI.
+	Src topology.NodeID
+	// Dst is the destination NI for unicast; Dsts lists destinations
+	// for multicast (leave Dst zero-valued then).
+	Dst  topology.NodeID
+	Dsts []topology.NodeID
+	// SlotsFwd is the number of TDM slots reserved for the forward
+	// (request) direction; the guaranteed bandwidth is
+	// SlotsFwd/Wheel of a link's capacity.
+	SlotsFwd int
+	// SlotsRev is the reverse (response) direction reservation. For
+	// flow-controlled unicast it must be >= 1 because credits ride on
+	// the reverse channel; 0 defaults to 1. Ignored for multicast.
+	SlotsRev int
+	// Multipath permits splitting the forward reservation over several
+	// paths.
+	Multipath bool
+	// MaxDetour bounds multipath detours (links beyond shortest).
+	MaxDetour int
+	// Spread selects evenly spaced slots instead of the lowest free
+	// ones, minimizing worst-case scheduling latency (used for
+	// latency-constrained connections by the dimensioning flow).
+	Spread bool
+}
+
+func (s ConnectionSpec) multicast() bool { return len(s.Dsts) > 0 }
+
+// ConnState tracks the configuration lifecycle.
+type ConnState int
+
+const (
+	// Opening means set-up packets are queued or in flight.
+	Opening ConnState = iota
+	// Open means configuration completed (as observed via
+	// Platform.CompleteConfig).
+	Open
+	// Closed means the connection was torn down and its resources
+	// released.
+	Closed
+)
+
+// String implements fmt.Stringer.
+func (s ConnState) String() string {
+	switch s {
+	case Opening:
+		return "opening"
+	case Open:
+		return "open"
+	case Closed:
+		return "closed"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Connection is a live guaranteed-service connection.
+type Connection struct {
+	ID   int
+	Spec ConnectionSpec
+
+	// SrcChannel is the local channel index at the source NI. For
+	// bidirectional unicast the same index carries the reverse data
+	// and the credits at each side.
+	SrcChannel int
+	// DstChannel is the destination's local channel (unicast).
+	DstChannel int
+	// DstChannels maps each multicast destination to its local channel.
+	DstChannels map[topology.NodeID]int
+
+	// Fwd and Rev are the unicast slot reservations; Tree the multicast
+	// one.
+	Fwd, Rev *alloc.Unicast
+	Tree     *alloc.Multicast
+
+	State ConnState
+
+	// SetupSubmitCycle and SetupDoneCycle bound the set-up duration as
+	// measured on the platform (Table III methodology).
+	SetupSubmitCycle uint64
+	SetupDoneCycle   uint64
+
+	// SetupWords counts the configuration words of all set-up packets.
+	SetupWords int
+}
+
+// Open allocates, configures and returns a connection. The returned
+// connection is in state Opening; run the platform (e.g. via
+// CompleteConfig or AwaitOpen) to let the configuration packets traverse
+// the tree, then mark it open with AwaitOpen.
+func (p *Platform) Open(spec ConnectionSpec) (*Connection, error) {
+	if spec.SlotsFwd <= 0 {
+		return nil, fmt.Errorf("core: SlotsFwd must be positive")
+	}
+	if spec.multicast() {
+		return p.openMulticast(spec)
+	}
+	return p.openUnicast(spec)
+}
+
+func (p *Platform) openUnicast(spec ConnectionSpec) (*Connection, error) {
+	if spec.SlotsRev <= 0 {
+		spec.SlotsRev = 1
+	}
+	opts := alloc.Options{Multipath: spec.Multipath, MaxDetour: spec.MaxDetour, Spread: spec.Spread}
+	fwd, err := p.Alloc.Unicast(spec.Src, spec.Dst, spec.SlotsFwd, opts)
+	if err != nil {
+		return nil, fmt.Errorf("core: forward allocation: %w", err)
+	}
+	rev, err := p.Alloc.Unicast(spec.Dst, spec.Src, spec.SlotsRev, opts)
+	if err != nil {
+		p.Alloc.ReleaseUnicast(fwd)
+		return nil, fmt.Errorf("core: reverse allocation: %w", err)
+	}
+	srcCh, err := p.allocChannel(spec.Src)
+	if err != nil {
+		p.Alloc.ReleaseUnicast(fwd)
+		p.Alloc.ReleaseUnicast(rev)
+		return nil, err
+	}
+	dstCh, err := p.allocChannel(spec.Dst)
+	if err != nil {
+		p.freeChannel(spec.Src, srcCh)
+		p.Alloc.ReleaseUnicast(fwd)
+		p.Alloc.ReleaseUnicast(rev)
+		return nil, err
+	}
+
+	c := &Connection{
+		ID:         p.nextConnID,
+		Spec:       spec,
+		SrcChannel: srcCh,
+		DstChannel: dstCh,
+		Fwd:        fwd,
+		Rev:        rev,
+		State:      Opening,
+	}
+	p.nextConnID++
+
+	// Path set-up packets: the forward direction writes the source's TX
+	// and destination's RX table under (srcCh, dstCh); the reverse
+	// direction swaps the roles and uses the same channel indices at
+	// each side, which is what pairs the credit wires.
+	var packets [][]phit.ConfigWord
+	fp, err := p.unicastPackets(fwd, srcCh, dstCh, true)
+	if err != nil {
+		return nil, err
+	}
+	rp, err := p.unicastPackets(rev, dstCh, srcCh, true)
+	if err != nil {
+		return nil, err
+	}
+	packets = append(packets, fp...)
+	packets = append(packets, rp...)
+
+	// Register initialization: credits mirror the remote receive queue
+	// capacity; FlagOpen arms both endpoints.
+	credit := p.Params.RecvQueueDepth
+	if credit > phit.MaxCreditValue {
+		credit = phit.MaxCreditValue
+	}
+	wr, err := regPackets([]cfgproto.RegWrite{
+		{Element: int(spec.Src), Reg: cfgproto.RegSelect(cfgproto.RegCredit, srcCh), Value: uint8(credit)},
+		{Element: int(spec.Dst), Reg: cfgproto.RegSelect(cfgproto.RegCredit, dstCh), Value: uint8(credit)},
+		{Element: int(spec.Src), Reg: cfgproto.RegSelect(cfgproto.RegFlags, srcCh), Value: cfgproto.FlagOpen},
+		{Element: int(spec.Dst), Reg: cfgproto.RegSelect(cfgproto.RegFlags, dstCh), Value: cfgproto.FlagOpen},
+	})
+	if err != nil {
+		return nil, err
+	}
+	packets = append(packets, wr...)
+
+	if err := p.submitAll(c, packets); err != nil {
+		return nil, err
+	}
+	p.connections[c.ID] = c
+	return c, nil
+}
+
+func (p *Platform) openMulticast(spec ConnectionSpec) (*Connection, error) {
+	tree, err := p.Alloc.Multicast(spec.Src, spec.Dsts, spec.SlotsFwd)
+	if err != nil {
+		return nil, fmt.Errorf("core: multicast allocation: %w", err)
+	}
+	srcCh, err := p.allocChannel(spec.Src)
+	if err != nil {
+		p.Alloc.ReleaseMulticast(tree)
+		return nil, err
+	}
+	dstChs := make(map[topology.NodeID]int, len(spec.Dsts))
+	for _, d := range spec.Dsts {
+		ch, err := p.allocChannel(d)
+		if err != nil {
+			for dd, cc := range dstChs {
+				p.freeChannel(dd, cc)
+			}
+			p.freeChannel(spec.Src, srcCh)
+			p.Alloc.ReleaseMulticast(tree)
+			return nil, err
+		}
+		dstChs[d] = ch
+	}
+
+	c := &Connection{
+		ID:          p.nextConnID,
+		Spec:        spec,
+		SrcChannel:  srcCh,
+		DstChannels: dstChs,
+		Tree:        tree,
+		State:       Opening,
+	}
+	p.nextConnID++
+
+	packets, err := p.multicastPackets(tree, srcCh, dstChs, true)
+	if err != nil {
+		return nil, err
+	}
+	// Multicast disables end-to-end flow control at the source (single
+	// credit counter cannot track several destinations); destinations
+	// must consume at line rate.
+	writes := []cfgproto.RegWrite{{
+		Element: int(spec.Src),
+		Reg:     cfgproto.RegSelect(cfgproto.RegFlags, srcCh),
+		Value:   cfgproto.FlagOpen | cfgproto.FlagMulticast,
+	}}
+	for _, d := range spec.Dsts {
+		writes = append(writes, cfgproto.RegWrite{
+			Element: int(d),
+			Reg:     cfgproto.RegSelect(cfgproto.RegFlags, dstChs[d]),
+			Value:   cfgproto.FlagOpen,
+		})
+	}
+	wr, err := regPackets(writes)
+	if err != nil {
+		return nil, err
+	}
+	packets = append(packets, wr...)
+
+	if err := p.submitAll(c, packets); err != nil {
+		return nil, err
+	}
+	p.connections[c.ID] = c
+	return c, nil
+}
+
+func (p *Platform) submitAll(c *Connection, packets [][]phit.ConfigWord) error {
+	c.SetupSubmitCycle = p.Sim.Cycle()
+	for _, pkt := range packets {
+		c.SetupWords += len(pkt)
+		if err := p.Host.SubmitPacket(pkt); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AwaitOpen runs the platform until the connection's configuration has
+// fully settled and marks it Open, recording the set-up completion cycle.
+func (p *Platform) AwaitOpen(c *Connection, budget uint64) error {
+	done, err := p.CompleteConfig(budget)
+	if err != nil {
+		return err
+	}
+	if c.State == Opening {
+		c.State = Open
+		c.SetupDoneCycle = done
+	}
+	return nil
+}
+
+// SetupCycles returns the measured set-up duration (submission to settled
+// configuration), the Table III metric.
+func (c *Connection) SetupCycles() uint64 {
+	if c.SetupDoneCycle < c.SetupSubmitCycle {
+		return 0
+	}
+	return c.SetupDoneCycle - c.SetupSubmitCycle
+}
+
+// Close tears the connection down: slots are disabled destination-first
+// (the same packet structure as set-up, with no-forward specs), flags and
+// credits cleared, and allocator/channel resources released once the
+// tear-down packets have been submitted.
+func (p *Platform) Close(c *Connection) error {
+	if c.State == Closed {
+		return fmt.Errorf("core: connection %d already closed", c.ID)
+	}
+	var packets [][]phit.ConfigWord
+	var err error
+	var flagClears []cfgproto.RegWrite
+	if c.Tree != nil {
+		packets, err = p.multicastPackets(c.Tree, c.SrcChannel, c.DstChannels, false)
+		if err != nil {
+			return err
+		}
+		flagClears = append(flagClears, cfgproto.RegWrite{
+			Element: int(c.Spec.Src), Reg: cfgproto.RegSelect(cfgproto.RegFlags, c.SrcChannel),
+		})
+		for d, ch := range c.DstChannels {
+			flagClears = append(flagClears, cfgproto.RegWrite{
+				Element: int(d), Reg: cfgproto.RegSelect(cfgproto.RegFlags, ch),
+			})
+		}
+	} else {
+		fp, err := p.unicastPackets(c.Fwd, c.SrcChannel, c.DstChannel, false)
+		if err != nil {
+			return err
+		}
+		rp, err := p.unicastPackets(c.Rev, c.DstChannel, c.SrcChannel, false)
+		if err != nil {
+			return err
+		}
+		packets = append(packets, fp...)
+		packets = append(packets, rp...)
+		flagClears = []cfgproto.RegWrite{
+			{Element: int(c.Spec.Src), Reg: cfgproto.RegSelect(cfgproto.RegFlags, c.SrcChannel)},
+			{Element: int(c.Spec.Dst), Reg: cfgproto.RegSelect(cfgproto.RegFlags, c.DstChannel)},
+			{Element: int(c.Spec.Src), Reg: cfgproto.RegSelect(cfgproto.RegCredit, c.SrcChannel)},
+			{Element: int(c.Spec.Dst), Reg: cfgproto.RegSelect(cfgproto.RegCredit, c.DstChannel)},
+		}
+	}
+	wr, err := regPackets(flagClears)
+	if err != nil {
+		return err
+	}
+	packets = append(packets, wr...)
+	for _, pkt := range packets {
+		if err := p.Host.SubmitPacket(pkt); err != nil {
+			return err
+		}
+	}
+
+	// Release bookkeeping.
+	if c.Tree != nil {
+		p.Alloc.ReleaseMulticast(c.Tree)
+		p.freeChannel(c.Spec.Src, c.SrcChannel)
+		for d, ch := range c.DstChannels {
+			p.freeChannel(d, ch)
+		}
+	} else {
+		p.Alloc.ReleaseUnicast(c.Fwd)
+		p.Alloc.ReleaseUnicast(c.Rev)
+		p.freeChannel(c.Spec.Src, c.SrcChannel)
+		p.freeChannel(c.Spec.Dst, c.DstChannel)
+	}
+	c.State = Closed
+	delete(p.connections, c.ID)
+	return nil
+}

@@ -1,0 +1,340 @@
+// Package core assembles complete daelite platforms (Fig. 3 of the paper)
+// and exposes the network's service interface: guaranteed-bandwidth,
+// guaranteed-latency connections that are set up and torn down at run time
+// through the dedicated broadcast configuration tree, including multicast
+// trees, while unrelated traffic keeps flowing undisturbed.
+//
+// The package wires cycle-accurate router and NI models over a mesh (or
+// any topology.Graph-backed layout), grows the configuration tree as a
+// minimal-depth spanning tree rooted at the router next to the host NI,
+// drives the contention-free slot allocator, and translates allocations
+// into the exact configuration packets the hardware decoders consume.
+package core
+
+import (
+	"fmt"
+
+	"daelite/internal/alloc"
+	"daelite/internal/configtree"
+	"daelite/internal/ni"
+	"daelite/internal/phit"
+	"daelite/internal/router"
+	"daelite/internal/sim"
+	"daelite/internal/topology"
+)
+
+// Wire type shorthands for the three signal kinds crossing element
+// boundaries.
+type (
+	flitWire = sim.Reg[phit.Flit]
+	cfgWire  = sim.Reg[phit.ConfigWord]
+	respWire = sim.Reg[phit.Response]
+)
+
+// Params are the platform-wide hardware parameters.
+type Params struct {
+	// Wheel is the TDM slot-table size (8–32 in the paper's
+	// experiments).
+	Wheel int
+	// SlotWords is the slot length in words; daelite uses 2 (and the
+	// paper notes it could be reduced to 1).
+	SlotWords int
+	// NumChannels is the number of connection endpoints per NI.
+	NumChannels int
+	// SendQueueDepth and RecvQueueDepth are per-channel NI queue sizes
+	// in words; RecvQueueDepth is the credit a source receives at
+	// set-up.
+	SendQueueDepth int
+	RecvQueueDepth int
+	// Cooldown is the configuration module's post-packet quiet period.
+	Cooldown int
+}
+
+// DefaultParams mirror the paper's running example: 8 slots of 2 words,
+// 6-bit credits (queue depth 32 fits comfortably), and a short cool-down.
+func DefaultParams() Params {
+	return Params{
+		Wheel:          8,
+		SlotWords:      2,
+		NumChannels:    8,
+		SendQueueDepth: 16,
+		RecvQueueDepth: 32,
+		Cooldown:       4,
+	}
+}
+
+// Validate checks parameter sanity.
+func (p Params) Validate() error {
+	rp := router.Params{Wheel: p.Wheel, SlotWords: p.SlotWords}
+	if err := rp.Validate(); err != nil {
+		return err
+	}
+	np := ni.Params{
+		Wheel: p.Wheel, SlotWords: p.SlotWords, NumChannels: p.NumChannels,
+		SendQueueDepth: p.SendQueueDepth, RecvQueueDepth: p.RecvQueueDepth,
+	}
+	return np.Validate()
+}
+
+// Platform is a fully wired daelite SoC.
+type Platform struct {
+	Sim    *sim.Simulator
+	Mesh   *topology.Mesh
+	Params Params
+
+	Routers map[topology.NodeID]*router.Router
+	NIs     map[topology.NodeID]*ni.NI
+	Host    *configtree.Module
+	Tree    *topology.SpanningTree
+	HostNI  topology.NodeID
+	Alloc   *alloc.Allocator
+
+	channelsUsed map[topology.NodeID]map[int]bool
+	connections  map[int]*Connection
+	nextConnID   int
+}
+
+// NewMeshPlatform builds a Width x Height mesh platform with one NI per
+// router (unless spec says otherwise), with the host at hostX, hostY.
+func NewMeshPlatform(spec topology.MeshSpec, params Params, hostX, hostY int) (*Platform, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	m, err := topology.NewMesh(spec)
+	if err != nil {
+		return nil, err
+	}
+	hostNI := m.NI(hostX, hostY, 0)
+	return NewPlatform(m, params, hostNI)
+}
+
+// NewPlatform wires a platform over an already built mesh with the given
+// host NI.
+func NewPlatform(m *topology.Mesh, params Params, hostNI topology.NodeID) (*Platform, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	// Element IDs are the node IDs; ID 127 is reserved as the padding
+	// element of the configuration protocol.
+	if m.NumNodes() > 127 {
+		return nil, fmt.Errorf("core: %d network elements exceed the 7-bit configuration ID space (127 usable)", m.NumNodes())
+	}
+	s := sim.New()
+	p := &Platform{
+		Sim:          s,
+		Mesh:         m,
+		Params:       params,
+		Routers:      make(map[topology.NodeID]*router.Router),
+		NIs:          make(map[topology.NodeID]*ni.NI),
+		HostNI:       hostNI,
+		Alloc:        alloc.New(m.Graph, params.Wheel),
+		channelsUsed: make(map[topology.NodeID]map[int]bool),
+		connections:  make(map[int]*Connection),
+	}
+
+	// Instantiate elements. Configuration element IDs are the topology
+	// node IDs.
+	for _, n := range m.Nodes() {
+		switch n.Kind {
+		case topology.Router:
+			r, err := router.New(s, n.Name, int(n.ID), m.InDegree(n.ID), m.OutDegree(n.ID),
+				router.Params{Wheel: params.Wheel, SlotWords: params.SlotWords})
+			if err != nil {
+				return nil, err
+			}
+			p.Routers[n.ID] = r
+		case topology.NI:
+			nif, err := ni.New(s, n.Name, int(n.ID), ni.Params{
+				Wheel: params.Wheel, SlotWords: params.SlotWords,
+				NumChannels:    params.NumChannels,
+				SendQueueDepth: params.SendQueueDepth,
+				RecvQueueDepth: params.RecvQueueDepth,
+			})
+			if err != nil {
+				return nil, err
+			}
+			p.NIs[n.ID] = nif
+		}
+	}
+
+	// Wire data links: the source element owns the wire. Pipelined
+	// (mesochronous/long) links insert extra register stages, each
+	// worth exactly one TDM slot, so contention-free scheduling is
+	// preserved (the allocator accounts a larger slot advance and the
+	// configuration packets carry padding pairs for the extra
+	// rotations).
+	for _, l := range m.Links() {
+		wire := p.outputWire(l)
+		if stages := m.Graph.Pipeline(l.ID); stages > 0 {
+			wire = newLinkPipeline(s, fmt.Sprintf("pipe-link%d", l.ID), wire, stages*params.SlotWords)
+		}
+		p.connectInput(l, wire)
+	}
+
+	// Configuration tree rooted at the router next to the host NI.
+	root, err := m.ConfigRoot(hostNI)
+	if err != nil {
+		return nil, err
+	}
+	p.Tree = m.BFSTree(root)
+	p.Host = configtree.New(s, "cfg-module", configtree.Params{
+		Cooldown:   params.Cooldown,
+		QueueDepth: 4096,
+	})
+	rootRouter := p.Routers[root]
+	rootRouter.ConnectConfigIn(p.Host.ForwardWire())
+	p.Host.ConnectResponse(rootRouter.ResponseWire())
+	p.wireTree(root)
+
+	return p, nil
+}
+
+func (p *Platform) outputWire(l topology.Link) *flitWire {
+	if r, ok := p.Routers[l.From]; ok {
+		return r.OutputWire(l.FromPort)
+	}
+	return p.NIs[l.From].OutputWire()
+}
+
+func (p *Platform) connectInput(l topology.Link, w *flitWire) {
+	if r, ok := p.Routers[l.To]; ok {
+		r.ConnectInput(l.ToPort, w)
+		return
+	}
+	p.NIs[l.To].ConnectInput(w)
+}
+
+// wireTree attaches forward/reverse configuration wires along the spanning
+// tree below node n.
+func (p *Platform) wireTree(n topology.NodeID) {
+	for _, child := range p.Tree.Children[n] {
+		fwd := p.addConfigChild(n)
+		p.connectConfigIn(child, fwd)
+		p.addResponseChild(n, p.responseWire(child))
+		p.wireTree(child)
+	}
+}
+
+func (p *Platform) addConfigChild(n topology.NodeID) *cfgWire {
+	if r, ok := p.Routers[n]; ok {
+		return r.AddConfigChild(p.Sim)
+	}
+	return p.NIs[n].AddConfigChild(p.Sim)
+}
+
+func (p *Platform) connectConfigIn(n topology.NodeID, w *cfgWire) {
+	if r, ok := p.Routers[n]; ok {
+		r.ConnectConfigIn(w)
+		return
+	}
+	p.NIs[n].ConnectConfigIn(w)
+}
+
+func (p *Platform) responseWire(n topology.NodeID) *respWire {
+	if r, ok := p.Routers[n]; ok {
+		return r.ResponseWire()
+	}
+	return p.NIs[n].ResponseWire()
+}
+
+func (p *Platform) addResponseChild(n topology.NodeID, w *respWire) {
+	if r, ok := p.Routers[n]; ok {
+		r.AddResponseChild(w)
+		return
+	}
+	p.NIs[n].AddResponseChild(w)
+}
+
+// linkPipeline is a chain of extra register stages modelling a pipelined
+// (long or mesochronous) link.
+type linkPipeline struct {
+	name string
+	in   *flitWire
+	regs []*flitWire
+}
+
+func newLinkPipeline(s *sim.Simulator, name string, in *flitWire, depth int) *flitWire {
+	lp := &linkPipeline{name: name, in: in}
+	for i := 0; i < depth; i++ {
+		lp.regs = append(lp.regs, sim.NewReg(s, phit.Idle()))
+	}
+	s.Add(lp)
+	return lp.regs[len(lp.regs)-1]
+}
+
+// Name implements sim.Component.
+func (lp *linkPipeline) Name() string { return lp.name }
+
+// Eval implements sim.Component: a plain shift register.
+func (lp *linkPipeline) Eval(uint64) {
+	for i := len(lp.regs) - 1; i > 0; i-- {
+		lp.regs[i].Set(lp.regs[i-1].Get())
+	}
+	lp.regs[0].Set(lp.in.Get())
+}
+
+// Commit implements sim.Component.
+func (lp *linkPipeline) Commit() {}
+
+// NI returns the NI model at a node.
+func (p *Platform) NI(id topology.NodeID) *ni.NI { return p.NIs[id] }
+
+// Router returns the router model at a node.
+func (p *Platform) Router(id topology.NodeID) *router.Router { return p.Routers[id] }
+
+// Run advances the platform n cycles.
+func (p *Platform) Run(n uint64) { p.Sim.Run(n) }
+
+// Cycle returns the current cycle.
+func (p *Platform) Cycle() uint64 { return p.Sim.Cycle() }
+
+// ConfigSettleCycles is the number of cycles after the configuration
+// module goes idle within which every in-flight word has traversed the
+// tree (two cycles per tree hop, plus the module's own output stage).
+func (p *Platform) ConfigSettleCycles() uint64 {
+	return uint64(2*(p.Tree.MaxDepth()+1) + 2)
+}
+
+// CompleteConfig runs the simulation until the configuration module is
+// idle and all in-flight configuration words have settled. It returns the
+// cycle at which configuration completed, or an error on budget
+// exhaustion.
+func (p *Platform) CompleteConfig(budget uint64) (uint64, error) {
+	_, ok := p.Sim.RunUntil(func() bool { return !p.Host.Busy() }, budget)
+	if !ok {
+		return p.Sim.Cycle(), fmt.Errorf("core: configuration did not drain within %d cycles", budget)
+	}
+	p.Sim.Run(p.ConfigSettleCycles())
+	return p.Sim.Cycle(), nil
+}
+
+// allocChannel reserves a free local channel index on an NI.
+func (p *Platform) allocChannel(n topology.NodeID) (int, error) {
+	used := p.channelsUsed[n]
+	if used == nil {
+		used = make(map[int]bool)
+		p.channelsUsed[n] = used
+	}
+	for ch := 0; ch < p.Params.NumChannels; ch++ {
+		if !used[ch] {
+			used[ch] = true
+			return ch, nil
+		}
+	}
+	return 0, fmt.Errorf("core: NI %s out of channels", p.Mesh.Node(n).Name)
+}
+
+func (p *Platform) freeChannel(n topology.NodeID, ch int) {
+	if used := p.channelsUsed[n]; used != nil {
+		delete(used, ch)
+	}
+}
+
+// Connections returns the live connections by ID.
+func (p *Platform) Connections() map[int]*Connection {
+	out := make(map[int]*Connection, len(p.connections))
+	for k, v := range p.connections {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,379 @@
+package core
+
+import (
+	"testing"
+
+	"daelite/internal/phit"
+	"daelite/internal/topology"
+)
+
+func newTestPlatform(t testing.TB, w, h int, params Params) *Platform {
+	t.Helper()
+	p, err := NewMeshPlatform(topology.MeshSpec{Width: w, Height: h, NIsPerRouter: 1}, params, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPlatformAssembly(t *testing.T) {
+	p := newTestPlatform(t, 2, 2, DefaultParams())
+	if len(p.Routers) != 4 || len(p.NIs) != 4 {
+		t.Fatalf("routers=%d nis=%d", len(p.Routers), len(p.NIs))
+	}
+	if p.Tree.Size() != 8 {
+		t.Fatalf("config tree covers %d elements, want 8", p.Tree.Size())
+	}
+	// Root is the router next to the host NI at (0,0).
+	if p.Tree.Root != p.Mesh.Router(0, 0) {
+		t.Fatalf("tree root = %d", p.Tree.Root)
+	}
+	p.Run(10) // idle platform must simply run
+}
+
+func TestParamsValidate(t *testing.T) {
+	bad := DefaultParams()
+	bad.Wheel = 0
+	if _, err := NewMeshPlatform(topology.MeshSpec{Width: 2, Height: 2, NIsPerRouter: 1}, bad, 0, 0); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+	bad = DefaultParams()
+	bad.RecvQueueDepth = 64 // exceeds 6-bit credit
+	if err := bad.Validate(); err == nil {
+		t.Fatal("oversized recv queue accepted")
+	}
+}
+
+func openUnicast(t testing.TB, p *Platform, sx, sy, dx, dy, slots int) *Connection {
+	t.Helper()
+	c, err := p.Open(ConnectionSpec{
+		Src:      p.Mesh.NI(sx, sy, 0),
+		Dst:      p.Mesh.NI(dx, dy, 0),
+		SlotsFwd: slots,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AwaitOpen(c, 10000); err != nil {
+		t.Fatal(err)
+	}
+	if c.State != Open {
+		t.Fatalf("state = %v", c.State)
+	}
+	return c
+}
+
+func TestUnicastDelivery(t *testing.T) {
+	p := newTestPlatform(t, 2, 2, DefaultParams())
+	c := openUnicast(t, p, 0, 0, 1, 1, 2)
+
+	src := p.NI(c.Spec.Src)
+	dst := p.NI(c.Spec.Dst)
+	const n = 20
+	for i := 0; i < n; i++ {
+		if !src.Send(c.SrcChannel, phit.Word(0x1000+i)) {
+			// Queue full: run a little and retry.
+			p.Run(16)
+			if !src.Send(c.SrcChannel, phit.Word(0x1000+i)) {
+				t.Fatalf("send %d rejected", i)
+			}
+		}
+		p.Run(4)
+	}
+	p.Run(400)
+	if got := dst.RecvLen(c.DstChannel); got != n {
+		t.Fatalf("delivered %d of %d", got, n)
+	}
+	for i := 0; i < n; i++ {
+		d, ok := dst.Recv(c.DstChannel)
+		if !ok {
+			t.Fatalf("recv %d failed", i)
+		}
+		if d.Word != phit.Word(0x1000+i) {
+			t.Fatalf("word %d = %#x, want %#x (in-order delivery violated)", i, d.Word, 0x1000+i)
+		}
+	}
+}
+
+// TestTraversalLatencyTwoCyclesPerHop pins the paper's central timing
+// claim: router (and link) traversal is 2 cycles per hop in daelite.
+func TestTraversalLatencyTwoCyclesPerHop(t *testing.T) {
+	p := newTestPlatform(t, 4, 1, DefaultParams())
+	// NI00 -> NI30: path NI-R00-R10-R20-R30-NI = 5 links.
+	c := openUnicast(t, p, 0, 0, 3, 0, 1)
+	src, dst := p.NI(c.Spec.Src), p.NI(c.Spec.Dst)
+	L := len(c.Fwd.Paths[0].Path)
+	if L != 5 {
+		t.Fatalf("path length = %d, want 5", L)
+	}
+	for i := 0; i < 8; i++ {
+		src.Send(c.SrcChannel, phit.Word(i))
+		p.Run(64)
+	}
+	count := 0
+	for {
+		d, ok := dst.Recv(c.DstChannel)
+		if !ok {
+			break
+		}
+		count++
+		lat := d.Cycle - d.Tag.InjectCycle
+		if lat != uint64(2*L) {
+			t.Fatalf("network traversal latency = %d cycles over %d links, want %d (2/hop)", lat, L, 2*L)
+		}
+	}
+	if count == 0 {
+		t.Fatal("nothing delivered")
+	}
+}
+
+func TestCreditFlowControlStallsAtDepth(t *testing.T) {
+	params := DefaultParams()
+	params.RecvQueueDepth = 8
+	params.SendQueueDepth = 64
+	p := newTestPlatform(t, 2, 2, params)
+	c := openUnicast(t, p, 0, 0, 1, 0, 4)
+	src, dst := p.NI(c.Spec.Src), p.NI(c.Spec.Dst)
+
+	// Flood without the destination consuming: exactly RecvQueueDepth
+	// words may be in flight/delivered; the rest stay in the send queue.
+	for i := 0; i < 32; i++ {
+		if !src.Send(c.SrcChannel, phit.Word(i)) {
+			t.Fatalf("send queue rejected word %d", i)
+		}
+	}
+	p.Run(600)
+	if got := dst.RecvLen(c.DstChannel); got != params.RecvQueueDepth {
+		t.Fatalf("destination holds %d words, want exactly %d (credit bound)", got, params.RecvQueueDepth)
+	}
+	if src.Credit(c.SrcChannel) != 0 {
+		t.Fatalf("source credit = %d, want 0", src.Credit(c.SrcChannel))
+	}
+	injected, _ := src.Stats()
+	if injected != uint64(params.RecvQueueDepth) {
+		t.Fatalf("injected %d, want %d", injected, params.RecvQueueDepth)
+	}
+
+	// Consuming at the destination returns credits and unblocks the
+	// source; eventually all 32 words arrive, none lost.
+	total := 0
+	for total < 32 {
+		before := p.Cycle()
+		for {
+			if _, ok := dst.Recv(c.DstChannel); !ok {
+				break
+			}
+			total++
+		}
+		p.Run(64)
+		if p.Cycle()-before == 0 {
+			t.Fatal("no progress")
+		}
+		if p.Cycle() > 20000 {
+			t.Fatalf("stalled with %d of 32 delivered", total)
+		}
+	}
+}
+
+func TestBidirectionalTraffic(t *testing.T) {
+	p := newTestPlatform(t, 2, 2, DefaultParams())
+	c, err := p.Open(ConnectionSpec{
+		Src:      p.Mesh.NI(0, 0, 0),
+		Dst:      p.Mesh.NI(1, 1, 0),
+		SlotsFwd: 2,
+		SlotsRev: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AwaitOpen(c, 10000); err != nil {
+		t.Fatal(err)
+	}
+	src, dst := p.NI(c.Spec.Src), p.NI(c.Spec.Dst)
+	for i := 0; i < 10; i++ {
+		src.Send(c.SrcChannel, phit.Word(0xA0+i))
+		dst.Send(c.DstChannel, phit.Word(0xB0+i))
+		p.Run(16)
+	}
+	p.Run(300)
+	if got := dst.RecvLen(c.DstChannel); got != 10 {
+		t.Fatalf("forward delivered %d", got)
+	}
+	if got := src.RecvLen(c.SrcChannel); got != 10 {
+		t.Fatalf("reverse delivered %d", got)
+	}
+	for i := 0; i < 10; i++ {
+		d, _ := dst.Recv(c.DstChannel)
+		if d.Word != phit.Word(0xA0+i) {
+			t.Fatalf("fwd word %d = %#x", i, d.Word)
+		}
+		r, _ := src.Recv(c.SrcChannel)
+		if r.Word != phit.Word(0xB0+i) {
+			t.Fatalf("rev word %d = %#x", i, r.Word)
+		}
+	}
+}
+
+func TestMulticastDelivery(t *testing.T) {
+	p := newTestPlatform(t, 3, 3, DefaultParams())
+	dsts := []topology.NodeID{p.Mesh.NI(2, 0, 0), p.Mesh.NI(2, 2, 0), p.Mesh.NI(0, 2, 0)}
+	c, err := p.Open(ConnectionSpec{
+		Src:      p.Mesh.NI(0, 0, 0),
+		Dsts:     dsts,
+		SlotsFwd: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AwaitOpen(c, 20000); err != nil {
+		t.Fatal(err)
+	}
+	src := p.NI(c.Spec.Src)
+	const n = 16
+	for i := 0; i < n; i++ {
+		if !src.Send(c.SrcChannel, phit.Word(0xC000+i)) {
+			t.Fatalf("send %d rejected", i)
+		}
+		p.Run(16)
+	}
+	p.Run(400)
+	// All destination shells receive the same stream of messages.
+	for _, d := range dsts {
+		nif := p.NI(d)
+		ch := c.DstChannels[d]
+		if got := nif.RecvLen(ch); got != n {
+			t.Fatalf("destination %v delivered %d of %d", p.Mesh.Node(d).Name, got, n)
+		}
+		for i := 0; i < n; i++ {
+			dv, _ := nif.Recv(ch)
+			if dv.Word != phit.Word(0xC000+i) {
+				t.Fatalf("dest %v word %d = %#x", p.Mesh.Node(d).Name, i, dv.Word)
+			}
+		}
+	}
+}
+
+// TestReconfigUnderTraffic is experiment E13: a running connection must be
+// unaffected by other connections being set up and torn down.
+func TestReconfigUnderTraffic(t *testing.T) {
+	p := newTestPlatform(t, 3, 3, DefaultParams())
+	steady := openUnicast(t, p, 0, 0, 2, 2, 1)
+	src, dst := p.NI(steady.Spec.Src), p.NI(steady.Spec.Dst)
+
+	sent, received := 0, 0
+	pump := func(cycles uint64) {
+		for i := uint64(0); i < cycles; i += 8 {
+			if src.CanSend(steady.SrcChannel) {
+				if src.Send(steady.SrcChannel, phit.Word(sent)) {
+					sent++
+				}
+			}
+			p.Run(8)
+			for {
+				d, ok := dst.Recv(steady.DstChannel)
+				if !ok {
+					break
+				}
+				if d.Word != phit.Word(received) {
+					t.Fatalf("stream corrupted at word %d: got %#x", received, d.Word)
+				}
+				received++
+			}
+		}
+	}
+
+	pump(256)
+	// Open and close other connections while the steady stream runs.
+	for i := 0; i < 3; i++ {
+		c2, err := p.Open(ConnectionSpec{
+			Src:      p.Mesh.NI(1, 0, 0),
+			Dst:      p.Mesh.NI(1, 2, 0),
+			SlotsFwd: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pump(300)
+		if c2.State != Opening && c2.State != Open {
+			t.Fatalf("c2 state %v", c2.State)
+		}
+		if err := p.AwaitOpen(c2, 10000); err != nil {
+			t.Fatal(err)
+		}
+		pump(128)
+		if err := p.Close(c2); err != nil {
+			t.Fatal(err)
+		}
+		pump(300)
+	}
+	pump(512)
+	if received == 0 || received < sent-8 {
+		t.Fatalf("steady stream starved: sent %d received %d", sent, received)
+	}
+}
+
+func TestCloseReleasesResources(t *testing.T) {
+	p := newTestPlatform(t, 2, 2, DefaultParams())
+	before := p.Alloc.TotalSlotsUsed()
+	c := openUnicast(t, p, 0, 0, 1, 1, 2)
+	if err := p.Close(c); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.CompleteConfig(10000); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Alloc.TotalSlotsUsed(); got != before {
+		t.Fatalf("slots leaked: %d -> %d", before, got)
+	}
+	if c.State != Closed {
+		t.Fatalf("state = %v", c.State)
+	}
+	if err := p.Close(c); err == nil {
+		t.Fatal("double close accepted")
+	}
+	// The torn-down channel must not accept traffic.
+	if p.NI(c.Spec.Src).Send(c.SrcChannel, 1) {
+		t.Fatal("closed channel accepted a word")
+	}
+	// Capacity is reusable.
+	c2 := openUnicast(t, p, 0, 0, 1, 1, 2)
+	if c2.State != Open {
+		t.Fatal("reopen failed")
+	}
+}
+
+func TestSetupCyclesMeasured(t *testing.T) {
+	p := newTestPlatform(t, 2, 2, DefaultParams())
+	c := openUnicast(t, p, 0, 0, 1, 1, 1)
+	if c.SetupCycles() == 0 {
+		t.Fatal("setup cycles not measured")
+	}
+	if c.SetupWords == 0 {
+		t.Fatal("setup words not counted")
+	}
+	// daelite's promise: tens of cycles, not thousands.
+	if c.SetupCycles() > 200 {
+		t.Fatalf("setup took %d cycles", c.SetupCycles())
+	}
+}
+
+func TestChannelExhaustion(t *testing.T) {
+	params := DefaultParams()
+	params.NumChannels = 1
+	params.Wheel = 16
+	p := newTestPlatform(t, 2, 2, params)
+	if _, err := p.Open(ConnectionSpec{Src: p.Mesh.NI(0, 0, 0), Dst: p.Mesh.NI(1, 1, 0), SlotsFwd: 1}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := p.Open(ConnectionSpec{Src: p.Mesh.NI(0, 0, 0), Dst: p.Mesh.NI(1, 0, 0), SlotsFwd: 1})
+	if err == nil {
+		t.Fatal("channel exhaustion not detected")
+	}
+}
+
+func TestOpenValidation(t *testing.T) {
+	p := newTestPlatform(t, 2, 2, DefaultParams())
+	if _, err := p.Open(ConnectionSpec{Src: p.Mesh.NI(0, 0, 0), Dst: p.Mesh.NI(1, 1, 0)}); err == nil {
+		t.Fatal("zero slots accepted")
+	}
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"daelite/internal/phit"
+	"daelite/internal/sim"
+	"daelite/internal/topology"
+)
+
+// TestPlatformFuzz is the big randomized soak: random platform shapes
+// (mesh size, wheel, queue depths), random connection churn (open, close,
+// multicast), random traffic — always ending in a fully drained, in-order,
+// loss-free state with zero leaked slots. This is the property the whole
+// stack must provide: whatever the configuration, guaranteed services
+// stay guaranteed.
+func TestPlatformFuzz(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		params := DefaultParams()
+		params.Wheel = []int{8, 16, 32}[rng.Intn(3)]
+		params.RecvQueueDepth = []int{8, 16, 32}[rng.Intn(3)]
+		params.SendQueueDepth = 8 + rng.Intn(24)
+		w := 2 + rng.Intn(2)
+		h := 2 + rng.Intn(2)
+		p, err := NewMeshPlatform(topology.MeshSpec{Width: w, Height: h, NIsPerRouter: 1}, params, 0, 0)
+		if err != nil {
+			t.Logf("seed %d: build: %v", seed, err)
+			return false
+		}
+
+		var live []*fuzzJob
+		baseline := p.Alloc.TotalSlotsUsed()
+
+		for step := 0; step < 12; step++ {
+			switch rng.Intn(4) {
+			case 0: // open unicast
+				src := p.Mesh.AllNIs[rng.Intn(len(p.Mesh.AllNIs))]
+				dst := p.Mesh.AllNIs[rng.Intn(len(p.Mesh.AllNIs))]
+				if src == dst {
+					continue
+				}
+				c, err := p.Open(ConnectionSpec{Src: src, Dst: dst, SlotsFwd: 1 + rng.Intn(3)})
+				if err != nil {
+					continue
+				}
+				if err := p.AwaitOpen(c, 500000); err != nil {
+					t.Logf("seed %d: await: %v", seed, err)
+					return false
+				}
+				live = append(live, &fuzzJob{conn: c})
+			case 1: // close one
+				if len(live) == 0 {
+					continue
+				}
+				k := rng.Intn(len(live))
+				j := live[k]
+				// Drain its in-flight words first so nothing is lost
+				// mid-teardown.
+				if !drain(p, j) {
+					t.Logf("seed %d: drain before close stalled", seed)
+					return false
+				}
+				if err := p.Close(j.conn); err != nil {
+					t.Logf("seed %d: close: %v", seed, err)
+					return false
+				}
+				if _, err := p.CompleteConfig(500000); err != nil {
+					return false
+				}
+				if j.sent != j.recv {
+					t.Logf("seed %d: closed with %d sent %d received", seed, j.sent, j.recv)
+					return false
+				}
+				live = append(live[:k], live[k+1:]...)
+			case 2: // traffic burst on a random live connection
+				if len(live) == 0 {
+					continue
+				}
+				j := live[rng.Intn(len(live))]
+				n := 1 + rng.Intn(8)
+				for i := 0; i < n; i++ {
+					if p.NI(j.conn.Spec.Src).Send(j.conn.SrcChannel, phit.Word(j.sent)) {
+						j.sent++
+					}
+				}
+				p.Run(uint64(8 + rng.Intn(64)))
+				collect(p, j)
+			case 3: // just run
+				p.Run(uint64(rng.Intn(128)))
+				for _, j := range live {
+					collect(p, j)
+				}
+			}
+		}
+		// Final drain of everything.
+		for _, j := range live {
+			if !drain(p, j) {
+				t.Logf("seed %d: final drain stalled", seed)
+				return false
+			}
+			if err := p.Close(j.conn); err != nil {
+				return false
+			}
+		}
+		if _, err := p.CompleteConfig(500000); err != nil {
+			return false
+		}
+		if got := p.Alloc.TotalSlotsUsed(); got != baseline {
+			t.Logf("seed %d: slots leaked: %d -> %d", seed, baseline, got)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// fuzzJob tracks one fuzzed connection's send/receive counters.
+type fuzzJob struct {
+	conn *Connection
+	sent uint64
+	recv uint64
+}
+
+// collect receives everything currently queued for j, verifying order.
+func collect(p *Platform, j *fuzzJob) {
+	for {
+		d, ok := p.NI(j.conn.Spec.Dst).Recv(j.conn.DstChannel)
+		if !ok {
+			return
+		}
+		if d.Word != phit.Word(j.recv) {
+			panic(fmt.Sprintf("order violated: got %#x want %#x", uint32(d.Word), j.recv))
+		}
+		j.recv++
+	}
+}
+
+// drain runs until everything sent on j has been received.
+func drain(p *Platform, j *fuzzJob) bool {
+	for i := 0; i < 200 && j.recv < j.sent; i++ {
+		p.Run(64)
+		collect(p, j)
+	}
+	return j.recv == j.sent
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"testing"
+
+	"daelite/internal/phit"
+	"daelite/internal/topology"
+)
+
+// pumpTree sends words and drains every destination, verifying stream
+// integrity; returns per-destination received counts.
+func pumpTree(t *testing.T, p *Platform, c *Connection, base, n int, counts map[topology.NodeID]int) {
+	t.Helper()
+	src := p.NI(c.Spec.Src)
+	sent := 0
+	for sent < n {
+		if src.Send(c.SrcChannel, phit.Word(base+sent)) {
+			sent++
+		}
+		p.Run(8)
+		drainTree(t, p, c, base, counts)
+	}
+	p.Run(300)
+	drainTree(t, p, c, base, counts)
+}
+
+func drainTree(t *testing.T, p *Platform, c *Connection, base int, counts map[topology.NodeID]int) {
+	t.Helper()
+	for d, ch := range c.DstChannels {
+		for {
+			dv, ok := p.NI(d).Recv(ch)
+			if !ok {
+				break
+			}
+			counts[d]++
+			_ = dv
+		}
+	}
+}
+
+// TestMulticastGrowShrink exercises the paper's partial-path mechanism on
+// a live connection: destinations are added and removed while the source
+// keeps streaming; pre-existing destinations never miss a word.
+func TestMulticastGrowShrink(t *testing.T) {
+	params := DefaultParams()
+	params.Wheel = 16
+	m, err := topology.NewMesh(topology.MeshSpec{Width: 3, Height: 3, NIsPerRouter: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPlatform(m, params, m.NI(0, 0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, d2, d3 := m.NI(2, 0, 0), m.NI(2, 2, 0), m.NI(0, 2, 0)
+	c, err := p.Open(ConnectionSpec{Src: m.NI(1, 1, 0), Dsts: []topology.NodeID{d1}, SlotsFwd: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AwaitOpen(c, 100000); err != nil {
+		t.Fatal(err)
+	}
+	counts := map[topology.NodeID]int{}
+
+	// Phase 1: one destination.
+	pumpTree(t, p, c, 0, 10, counts)
+	if counts[d1] != 10 {
+		t.Fatalf("phase 1: d1 got %d of 10", counts[d1])
+	}
+
+	// Grow: add d2 while running.
+	if err := p.AddMulticastDestination(c, d2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.CompleteConfig(100000); err != nil {
+		t.Fatal(err)
+	}
+	pumpTree(t, p, c, 100, 10, counts)
+	if counts[d1] != 20 {
+		t.Fatalf("phase 2: d1 got %d of 20 (existing destination disturbed)", counts[d1])
+	}
+	if counts[d2] != 10 {
+		t.Fatalf("phase 2: d2 got %d of 10", counts[d2])
+	}
+
+	// Grow again: d3.
+	if err := p.AddMulticastDestination(c, d3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.CompleteConfig(100000); err != nil {
+		t.Fatal(err)
+	}
+	pumpTree(t, p, c, 200, 10, counts)
+	if counts[d1] != 30 || counts[d2] != 20 || counts[d3] != 10 {
+		t.Fatalf("phase 3 counts: %v", counts)
+	}
+
+	// Shrink: remove d2; the others keep receiving, d2 stops.
+	if err := p.RemoveMulticastDestination(c, d2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.CompleteConfig(100000); err != nil {
+		t.Fatal(err)
+	}
+	pumpTree(t, p, c, 300, 10, counts)
+	if counts[d1] != 40 || counts[d3] != 20 {
+		t.Fatalf("phase 4 counts: %v", counts)
+	}
+	if counts[d2] != 20 {
+		t.Fatalf("removed destination still receiving: %d", counts[d2])
+	}
+
+	// Invariants: removing an unknown destination fails; removing the
+	// last one is refused.
+	if err := p.RemoveMulticastDestination(c, d2); err == nil {
+		t.Fatal("double remove accepted")
+	}
+	if err := p.RemoveMulticastDestination(c, d3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.CompleteConfig(100000); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.RemoveMulticastDestination(c, d1); err == nil {
+		t.Fatal("removing the last destination accepted")
+	}
+
+	// Close the connection: everything released.
+	if err := p.Close(c); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.CompleteConfig(100000); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Alloc.TotalSlotsUsed(); got != 0 {
+		t.Fatalf("slots leaked after dynamic tree lifecycle: %d", got)
+	}
+}
+
+// TestMulticastAttachOnUnicastRejected guards the API surface.
+func TestMulticastAttachOnUnicastRejected(t *testing.T) {
+	p := newTestPlatform(t, 2, 2, DefaultParams())
+	c := openUnicast(t, p, 0, 0, 1, 1, 1)
+	if err := p.AddMulticastDestination(c, p.Mesh.NI(1, 0, 0)); err == nil {
+		t.Fatal("attach on unicast accepted")
+	}
+	if err := p.RemoveMulticastDestination(c, p.Mesh.NI(1, 0, 0)); err == nil {
+		t.Fatal("remove on unicast accepted")
+	}
+}

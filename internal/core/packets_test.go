@@ -1,0 +1,54 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"daelite/internal/topology"
+)
+
+// TestPacketStreamGolden pins the exact configuration word stream of a
+// known connection — the wire format is an interface contract (a real
+// daelite host would be programmed against it), so any change must be
+// deliberate.
+func TestPacketStreamGolden(t *testing.T) {
+	p := newTestPlatform(t, 2, 2, DefaultParams())
+	// NI(1,0) [element 3] -> NI(0,1) [element 5] via R10 [2] and R00/R11.
+	c, err := p.Open(ConnectionSpec{Src: p.Mesh.NI(1, 0, 0), Dst: p.Mesh.NI(0, 1, 0), SlotsFwd: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rebuild the packets deterministically from the allocation.
+	fwd, err := p.unicastPackets(c.Fwd, c.SrcChannel, c.DstChannel, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	for _, pkt := range fwd {
+		for _, w := range pkt {
+			fmt.Fprintf(&sb, "%02x ", w.Bits)
+		}
+		sb.WriteString("| ")
+	}
+	got := strings.TrimSpace(sb.String())
+	// header(op=1,count=5) = 0x15; mask {4,7}->... depends on slots
+	// assigned; pin the whole stream.
+	const want = "15 00 30 06 20 02 08 00 0a 01 01 05 60 |"
+	if got != want {
+		t.Fatalf("wire format drifted:\n got  %s\n want %s", got, want)
+	}
+}
+
+// TestPadElementNeverAssigned: platforms must never hand out the reserved
+// padding element ID.
+func TestPadElementNeverAssigned(t *testing.T) {
+	m, err := topology.NewMesh(topology.MeshSpec{Width: 8, Height: 8, NIsPerRouter: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 128 elements: one too many (ID 127 is reserved).
+	if _, err := NewPlatform(m, DefaultParams(), m.NI(0, 0, 0)); err == nil {
+		t.Fatal("8x8 platform (128 elements) accepted despite reserved ID 127")
+	}
+}

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"fmt"
+
+	"daelite/internal/cfgproto"
+	"daelite/internal/topology"
+)
+
+// ReadRegister performs a host-initiated read of an element register over
+// the configuration infrastructure: the request is broadcast down the
+// forward tree, the addressed element answers, and the response converges
+// on the reverse path (no arbitration — the module enforces a single
+// outstanding request). The call drives the simulation until the response
+// arrives or budget cycles elapse.
+//
+// The paper lists this as one of the configuration network's duties:
+// "to configure and read back the state of the network interfaces".
+func (p *Platform) ReadRegister(element topology.NodeID, reg uint8, budget uint64) (uint8, error) {
+	words, err := cfgproto.ReadRegPacket(int(element), reg)
+	if err != nil {
+		return 0, err
+	}
+	if err := p.Host.SubmitPacket(words); err != nil {
+		return 0, err
+	}
+	_, ok := p.Sim.RunUntil(func() bool { return !p.Host.ReadOutstanding() && !p.Host.Busy() }, budget)
+	if !ok {
+		return 0, fmt.Errorf("core: read of element %d register %#x timed out", element, reg)
+	}
+	v, valid := p.Host.ReadValue()
+	if !valid {
+		return 0, fmt.Errorf("core: element %d register %#x produced no response", element, reg)
+	}
+	return v, nil
+}
+
+// ReadCredit reads the live credit counter of a channel at an NI.
+func (p *Platform) ReadCredit(ni topology.NodeID, channel int, budget uint64) (int, error) {
+	v, err := p.ReadRegister(ni, cfgproto.RegSelect(cfgproto.RegCredit, channel), budget)
+	return int(v), err
+}
+
+// ReadFlags reads the connection state flags of a channel at an NI.
+func (p *Platform) ReadFlags(ni topology.NodeID, channel int, budget uint64) (uint8, error) {
+	return p.ReadRegister(ni, cfgproto.RegSelect(cfgproto.RegFlags, channel), budget)
+}

@@ -1,0 +1,31 @@
+package dimension_test
+
+import (
+	"fmt"
+
+	"daelite/internal/dimension"
+	"daelite/internal/topology"
+)
+
+// Example dimensions a small platform from application requirements: the
+// flow picks the smallest wheel and a slot schedule whose guarantees
+// cover every demand.
+func Example() {
+	m, _ := topology.NewMesh(topology.MeshSpec{Width: 3, Height: 3, NIsPerRouter: 1})
+	res, err := dimension.Dimension(m.Graph, []dimension.Requirement{
+		{Name: "video", Src: m.NI(0, 0, 0), Dst: m.NI(2, 2, 0), Bandwidth: 0.25, MaxLatency: 40},
+		{Name: "ctrl", Src: m.NI(1, 0, 0), Dst: m.NI(1, 2, 0), Bandwidth: 0.05},
+	}, dimension.Config{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("wheel:", res.Wheel)
+	for _, a := range res.Assignments {
+		fmt.Printf("%s: %d slots, %.4f words/cycle, worst-case %d cycles\n",
+			a.Requirement.Name, a.Slots, a.GuaranteedBandwidth, a.WorstCaseLatency)
+	}
+	// Output:
+	// wheel: 8
+	// video: 2 slots, 0.2500 words/cycle, worst-case 22 cycles
+	// ctrl: 1 slots, 0.1250 words/cycle, worst-case 26 cycles
+}

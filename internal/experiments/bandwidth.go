@@ -1,0 +1,238 @@
+package experiments
+
+import (
+	"fmt"
+
+	"daelite/internal/aelite"
+	"daelite/internal/analysis"
+	"daelite/internal/core"
+	"daelite/internal/phit"
+	"daelite/internal/report"
+	"daelite/internal/slots"
+	"daelite/internal/topology"
+)
+
+// HeaderOverhead regenerates the payload-efficiency claim (E5): daelite
+// has no header overhead, while aelite spends one word in three slots (at
+// best) to one word per slot (at worst) on headers — 11 % to 33 % of the
+// reserved bandwidth. Both networks reserve the same share of the wheel
+// and are driven to saturation; the delivered payload rate is measured.
+func HeaderOverhead() (*Result, error) {
+	r := newResult("E5", "header overhead claim (Section V)")
+	const wheel = 16
+	const reserved = 3
+	t := report.NewTable("Saturated payload throughput for 3 of 16 slots reserved",
+		"Network", "Slot layout", "Reserved (words/cycle)", "Delivered (words/cycle)", "Efficiency", "Header overhead")
+
+	// daelite: layout does not matter, there are no headers.
+	dp, err := daelitePlatform(3, 1, wheel)
+	if err != nil {
+		return nil, err
+	}
+	dc, err := openDaelite(dp, dp.Mesh.NI(1, 0, 0), dp.Mesh.NI(2, 0, 0), reserved)
+	if err != nil {
+		return nil, err
+	}
+	dRate, err := saturateDaelite(dp, dc.Spec.Src, dc.Spec.Dst, dc.SrcChannel, dc.DstChannel)
+	if err != nil {
+		return nil, err
+	}
+	dReserved := float64(reserved) / wheel
+	t.AddRow("daelite", "any", fmt.Sprintf("%.4f", dReserved), fmt.Sprintf("%.4f", dRate),
+		report.Percent(dRate/dReserved), report.Percent(1-dRate/dReserved))
+	r.Metrics["daelite_efficiency"] = dRate / dReserved
+
+	// aelite: consecutive slots amortize one header over three slots;
+	// scattered slots pay one header per slot.
+	for _, scattered := range []bool{false, true} {
+		an, err := aeliteNetwork(3, 1, wheel)
+		if err != nil {
+			return nil, err
+		}
+		src, dst := an.Mesh.NI(1, 0, 0), an.Mesh.NI(2, 0, 0)
+		mask, err := bootAeliteChannel(an, src, dst, reserved, scattered)
+		if err != nil {
+			return nil, err
+		}
+		rate, err := saturateAelite(an, src, dst)
+		if err != nil {
+			return nil, err
+		}
+		reservedRate := float64(reserved) / wheel
+		layout := "consecutive"
+		span := 3
+		if scattered {
+			layout = "scattered"
+			span = 1
+		}
+		t.AddRow("aelite", layout+" "+fmt.Sprint(mask.Slots()),
+			fmt.Sprintf("%.4f", reservedRate), fmt.Sprintf("%.4f", rate),
+			report.Percent(rate/reservedRate), report.Percent(1-rate/reservedRate))
+		key := "aelite_overhead_consecutive"
+		if scattered {
+			key = "aelite_overhead_scattered"
+		}
+		r.Metrics[key] = 1 - rate/reservedRate
+		_ = span
+	}
+	r.Text = t.Render() + fmt.Sprintf("\nAnalytical aelite overhead: %s (3-slot packets) to %s (1-slot packets); daelite: 0%%.\n",
+		report.Percent(analysis.HeaderOverheadAelite(aelite.SlotWords, 3)),
+		report.Percent(analysis.HeaderOverheadAelite(aelite.SlotWords, 1)))
+	return r, nil
+}
+
+// bootAeliteChannel configures channel 0 between two adjacent NIs with
+// reserved slots chosen consecutive or scattered out of the free
+// candidates, using boot-time register writes (this experiment controls
+// the slot layout precisely, which the allocator does not expose).
+func bootAeliteChannel(an *aelite.Network, src, dst topology.NodeID, count int, scattered bool) (slots.Mask, error) {
+	g := an.Mesh.Graph
+	path := g.ShortestPath(src, dst)
+	cand := an.Alloc.CandidateSlots(path)
+	wheel := an.Params.Wheel
+	pick := slots.NewMask(wheel)
+	if scattered {
+		// Greedily take free slots with at least one unowned slot
+		// between them.
+		last := -2
+		for _, s := range cand.Slots() {
+			if pick.Count() == count {
+				break
+			}
+			if s == last+1 {
+				continue
+			}
+			pick = pick.With(s)
+			last = s
+		}
+	} else {
+		// Find a run of `count` consecutive free slots.
+		ss := cand.Slots()
+		for i := 0; i+count <= len(ss); i++ {
+			if ss[i+count-1]-ss[i] == count-1 {
+				for k := 0; k < count; k++ {
+					pick = pick.With(ss[i+k])
+				}
+				break
+			}
+		}
+	}
+	if pick.Count() != count {
+		return pick, fmt.Errorf("bandwidth: could not pick %d %v slots from %v", count,
+			map[bool]string{true: "scattered", false: "consecutive"}[scattered], cand.Slots())
+	}
+	route, err := aelite.PackRoute(routePortsOf(g, path))
+	if err != nil {
+		return pick, err
+	}
+	s := an.NI(src)
+	s.BootConfig(aelite.RegAddr(aelite.RegRoute, 0), route)
+	s.BootConfig(aelite.RegAddr(aelite.RegRemoteQueue, 0), 0)
+	s.BootConfig(aelite.RegAddr(aelite.RegCredit, 0), uint32(an.Params.RecvQueueDepth))
+	for _, sl := range pick.Slots() {
+		s.BootConfig(aelite.RegAddr(aelite.RegSlotEntry, sl), 0)
+	}
+	s.BootConfig(aelite.RegAddr(aelite.RegFlags, 0), aelite.FlagOpen)
+
+	// The reverse direction carries the credits back in its packet
+	// headers (up to 7 per header), so it needs enough non-consecutive
+	// slots — consecutive slots would merge into one packet with a
+	// single header and throttle the credit return below the forward
+	// reservation.
+	revPath := g.ShortestPath(dst, src)
+	revCand := an.Alloc.CandidateSlots(revPath)
+	revPick := slots.NewMask(wheel)
+	last := -2
+	for _, sl := range revCand.Slots() {
+		if revPick.Count() == 3 {
+			break
+		}
+		if sl == last+1 {
+			continue
+		}
+		revPick = revPick.With(sl)
+		last = sl
+	}
+	if revPick.Count() < 3 {
+		return pick, fmt.Errorf("bandwidth: no reverse credit slots available")
+	}
+	revRoute, err := aelite.PackRoute(routePortsOf(g, revPath))
+	if err != nil {
+		return pick, err
+	}
+	d := an.NI(dst)
+	d.BootConfig(aelite.RegAddr(aelite.RegRoute, 0), revRoute)
+	d.BootConfig(aelite.RegAddr(aelite.RegRemoteQueue, 0), 0)
+	d.BootConfig(aelite.RegAddr(aelite.RegCredit, 0), uint32(an.Params.RecvQueueDepth))
+	for _, sl := range revPick.Slots() {
+		d.BootConfig(aelite.RegAddr(aelite.RegSlotEntry, sl), 0)
+	}
+	d.BootConfig(aelite.RegAddr(aelite.RegFlags, 0), aelite.FlagOpen)
+	return pick, nil
+}
+
+func routePortsOf(g *topology.Graph, p topology.Path) []int {
+	var ports []int
+	for i := 1; i < len(p); i++ {
+		ports = append(ports, g.Link(p[i]).FromPort)
+	}
+	return ports
+}
+
+const satWindow = 4800 // measurement window in cycles (multiple of both wheels)
+
+// saturateDaelite keeps the source queue full and the sink drained and
+// returns the steady-state delivered payload rate in words per cycle.
+func saturateDaelite(p *core.Platform, src, dst topology.NodeID, srcCh, dstCh int) (float64, error) {
+	s, d := p.NI(src), p.NI(dst)
+	pump := func(cycles int) uint64 {
+		var delivered uint64
+		for i := 0; i < cycles; i += 2 {
+			for s.CanSend(srcCh) {
+				s.Send(srcCh, phit.Word(i))
+			}
+			p.Run(2)
+			for {
+				if _, ok := d.Recv(dstCh); !ok {
+					break
+				}
+				delivered++
+			}
+		}
+		return delivered
+	}
+	pump(512) // warm-up
+	got := pump(satWindow)
+	if got == 0 {
+		return 0, fmt.Errorf("bandwidth: daelite saturation delivered nothing")
+	}
+	return float64(got) / float64(satWindow), nil
+}
+
+// saturateAelite mirrors saturateDaelite for the baseline (channel 0 on
+// both sides).
+func saturateAelite(an *aelite.Network, src, dst topology.NodeID) (float64, error) {
+	s, d := an.NI(src), an.NI(dst)
+	pump := func(cycles int) uint64 {
+		var delivered uint64
+		for i := 0; i < cycles; i += 3 {
+			for s.CanSend(0) {
+				s.Send(0, phit.Word(i))
+			}
+			an.Run(3)
+			for {
+				if _, ok := d.Recv(0); !ok {
+					break
+				}
+				delivered++
+			}
+		}
+		return delivered
+	}
+	pump(513)
+	got := pump(satWindow)
+	if got == 0 {
+		return 0, fmt.Errorf("bandwidth: aelite saturation delivered nothing")
+	}
+	return float64(got) / float64(satWindow), nil
+}

@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"fmt"
+
+	"daelite/internal/alloc"
+	"daelite/internal/core"
+	"daelite/internal/phit"
+	"daelite/internal/report"
+	"daelite/internal/topology"
+)
+
+// MulticastTreeVsUnicast regenerates the Fig. 7 efficiency argument
+// (E10): a multicast tree rooted at the source NI reserves the source
+// link once, while emulating multicast with separate connections divides
+// the source link's bandwidth among all destinations — the Æthereal
+// approach of [26] that daelite improves on. Delivery of identical
+// streams over a real tree is verified on the cycle model.
+func MulticastTreeVsUnicast() (*Result, error) {
+	r := newResult("E10", "Fig. 7")
+	const wheel = 16
+	m, err := topology.NewMesh(topology.MeshSpec{Width: 4, Height: 4, NIsPerRouter: 1})
+	if err != nil {
+		return nil, err
+	}
+	src := m.NI(1, 1, 0)
+	all := []topology.NodeID{
+		m.NI(3, 1, 0), m.NI(1, 3, 0), m.NI(3, 3, 0),
+		m.NI(2, 0, 0), m.NI(0, 2, 0), m.NI(2, 2, 0),
+	}
+
+	t := report.NewTable("Source NI link slots needed for 2-slot service to n destinations (16-slot wheel)",
+		"Destinations", "Multicast tree", "Separate connections", "Max per-dest slots (tree)", "Max per-dest slots (separate)")
+	for n := 2; n <= 6; n++ {
+		dsts := all[:n]
+		at := alloc.New(m.Graph, wheel)
+		mc, err := at.Multicast(src, dsts, 2)
+		if err != nil {
+			return nil, err
+		}
+		treeSlots := at.LinkOccupancy(m.Out(src)[0]).Count()
+
+		au := alloc.New(m.Graph, wheel)
+		uniSlots := 0
+		ok := true
+		for _, d := range dsts {
+			u, err := au.Unicast(src, d, 2, alloc.Options{})
+			if err != nil {
+				ok = false
+				break
+			}
+			uniSlots += u.Paths[0].InjectSlots.Count()
+		}
+		uniCell := fmt.Sprint(uniSlots)
+		if !ok {
+			uniCell = "infeasible"
+		}
+		t.AddRow(n, treeSlots, uniCell, wheel, wheel/n)
+		r.Metrics[fmt.Sprintf("tree_slots_n%d", n)] = float64(treeSlots)
+		r.Metrics[fmt.Sprintf("unicast_slots_n%d", n)] = float64(uniSlots)
+		_ = mc
+	}
+
+	// Cycle-accurate check: all destinations of a real multicast tree
+	// receive the identical stream at full rate.
+	p, err := daelitePlatform(4, 4, wheel)
+	if err != nil {
+		return nil, err
+	}
+	dsts := []topology.NodeID{p.Mesh.NI(3, 1, 0), p.Mesh.NI(1, 3, 0), p.Mesh.NI(3, 3, 0)}
+	c, err := p.Open(core.ConnectionSpec{Src: p.Mesh.NI(1, 1, 0), Dsts: dsts, SlotsFwd: 2})
+	if err != nil {
+		return nil, err
+	}
+	if err := p.AwaitOpen(c, 100000); err != nil {
+		return nil, err
+	}
+	srcNI := p.NI(c.Spec.Src)
+	const words = 64
+	// Multicast disables end-to-end flow control, so destinations must
+	// consume at the delivery rate (the paper's stated requirement):
+	// drain every destination while the stream runs.
+	received := make(map[topology.NodeID][]phit.Word)
+	drain := func() {
+		for _, d := range dsts {
+			nif := p.NI(d)
+			ch := c.DstChannels[d]
+			for {
+				dv, ok := nif.Recv(ch)
+				if !ok {
+					break
+				}
+				received[d] = append(received[d], dv.Word)
+			}
+		}
+	}
+	sent := 0
+	for sent < words {
+		if srcNI.Send(c.SrcChannel, phit.Word(0xAB00+sent)) {
+			sent++
+		}
+		p.Run(8)
+		drain()
+	}
+	p.Run(512)
+	drain()
+	for _, d := range dsts {
+		got := received[d]
+		if len(got) != words {
+			return nil, fmt.Errorf("multicast: destination %v got %d of %d", p.Mesh.Node(d).Name, len(got), words)
+		}
+		for i := range got {
+			if got[i] != phit.Word(0xAB00+i) {
+				return nil, fmt.Errorf("multicast: destination %v stream corrupt at %d", p.Mesh.Node(d).Name, i)
+			}
+		}
+	}
+	r.Metrics["verified_destinations"] = float64(len(dsts))
+	r.Metrics["verified_words_each"] = words
+
+	// Measured comparison against the [26] approach on a real aelite
+	// network: emulating the same 2-destination multicast with separate
+	// connections costs one source-link injection per destination per
+	// word; the daelite tree costs exactly one.
+	an, err := aeliteNetwork(3, 3, 16)
+	if err != nil {
+		return nil, err
+	}
+	aSrc := an.Mesh.NI(0, 1, 0)
+	aDsts := []topology.NodeID{an.Mesh.NI(2, 0, 0), an.Mesh.NI(2, 2, 0)}
+	conns, err := an.OpenMulticastEmulation(aSrc, aDsts, 2)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := an.Sim.RunUntil(func() bool { return an.Config.Idle() }, 2_000_000); !ok {
+		return nil, fmt.Errorf("multicast: aelite emulation setup timed out")
+	}
+	const emuWords = 24
+	// Snapshot after set-up: the source NI also injected configuration
+	// acknowledgements, which are not multicast payload.
+	_, _, aBase, _ := an.NI(aSrc).Stats()
+	sent2 := 0
+	for sent2 < emuWords {
+		if an.SendAll(conns, phit.Word(sent2)) {
+			sent2++
+		}
+		an.Run(24)
+	}
+	an.Run(2000)
+	_, _, aInjected, _ := an.NI(aSrc).Stats()
+	injPerWordAelite := float64(aInjected-aBase) / emuWords
+
+	dp2, err := daelitePlatform(3, 3, 16)
+	if err != nil {
+		return nil, err
+	}
+	c2, err := dp2.Open(core.ConnectionSpec{
+		Src:      dp2.Mesh.NI(0, 1, 0),
+		Dsts:     []topology.NodeID{dp2.Mesh.NI(2, 0, 0), dp2.Mesh.NI(2, 2, 0)},
+		SlotsFwd: 2,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := dp2.AwaitOpen(c2, 1_000_000); err != nil {
+		return nil, err
+	}
+	srcNI2 := dp2.NI(c2.Spec.Src)
+	sent3 := 0
+	for sent3 < emuWords {
+		if srcNI2.Send(c2.SrcChannel, phit.Word(sent3)) {
+			sent3++
+		}
+		dp2.Run(16)
+		for _, d := range c2.Spec.Dsts {
+			for {
+				if _, ok := dp2.NI(d).Recv(c2.DstChannels[d]); !ok {
+					break
+				}
+			}
+		}
+	}
+	dp2.Run(500)
+	dInjected, _ := srcNI2.Stats()
+	injPerWordDaelite := float64(dInjected) / emuWords
+
+	t2 := report.NewTable("Measured source-NI injections per multicast word (2 destinations)",
+		"Network", "Mechanism", "Injections/word")
+	t2.AddRow("daelite", "multicast tree (Fig. 7)", fmt.Sprintf("%.2f", injPerWordDaelite))
+	t2.AddRow("aelite [26]", "separate connections", fmt.Sprintf("%.2f", injPerWordAelite))
+	r.Metrics["daelite_inj_per_word"] = injPerWordDaelite
+	r.Metrics["aelite_inj_per_word"] = injPerWordAelite
+
+	r.Text = t.Render() + "\nCycle-accurate check: 3-destination tree delivered identical 64-word streams to every destination.\n\n" + t2.Render()
+	return r, nil
+}

@@ -1,0 +1,56 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Title", "A", "Blong", "C")
+	tb.AddRow(1, "x", 2.5)
+	tb.AddRow("longer-cell", "y", 3)
+	out := tb.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "Title" {
+		t.Fatalf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "A ") || !strings.Contains(lines[1], "Blong") {
+		t.Fatalf("header line = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "---") {
+		t.Fatalf("separator line = %q", lines[2])
+	}
+	if !strings.Contains(lines[3], "2.50") {
+		t.Fatalf("float formatting: %q", lines[3])
+	}
+	// Columns align: the second column starts at the same offset in
+	// every row.
+	idx := strings.Index(lines[1], "Blong")
+	if !strings.HasPrefix(lines[3][idx:], "x") || !strings.HasPrefix(lines[4][idx:], "y") {
+		t.Fatalf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tb := NewTable("", "X")
+	tb.AddRow(1)
+	out := tb.Render()
+	if strings.HasPrefix(out, "\n") {
+		t.Fatal("empty title produced a blank line")
+	}
+	if !strings.HasPrefix(out, "X") {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestPercentAndRatio(t *testing.T) {
+	if Percent(0.0625) != "6.2%" {
+		t.Fatalf("Percent = %q", Percent(0.0625))
+	}
+	if Percent(1) != "100.0%" {
+		t.Fatalf("Percent = %q", Percent(1))
+	}
+	if Ratio(9.95) != "9.9x" && Ratio(9.95) != "10.0x" {
+		t.Fatalf("Ratio = %q", Ratio(9.95))
+	}
+}

@@ -1,0 +1,226 @@
+// Package router implements the daelite network router (Fig. 4 of the
+// paper): a blindly-switching TDM crossbar with a slot table per output
+// port, a fixed two-cycle hop latency (one cycle of link traversal, one of
+// crossbar traversal — data is buffered twice), a configuration submodule
+// fed by the broadcast configuration tree, and multicast by construction
+// (several outputs may select the same input in the same slot).
+//
+// Timing convention (shared by the whole repository): a component's Eval
+// at cycle c computes the values its output registers present during cycle
+// c+1, exactly like RTL next-state logic. A flit on the router's input
+// wire during slot s appears on the selected output wire during slot s+1,
+// so the slot-table index of a router equals the source injection slot
+// plus the router's position along the path — the invariant the
+// configuration protocol's mask rotation relies on.
+package router
+
+import (
+	"fmt"
+
+	"daelite/internal/cfgproto"
+	"daelite/internal/phit"
+	"daelite/internal/sim"
+	"daelite/internal/slots"
+)
+
+// Params holds the static hardware parameters of a router.
+type Params struct {
+	// Wheel is the slot-table size (number of TDM slots).
+	Wheel int
+	// SlotWords is the slot length in words (2 in daelite).
+	SlotWords int
+}
+
+// Validate checks parameter sanity.
+func (p Params) Validate() error {
+	if p.Wheel <= 0 || p.Wheel > slots.MaxTableSize {
+		return fmt.Errorf("router: wheel %d out of range", p.Wheel)
+	}
+	if p.SlotWords <= 0 {
+		return fmt.Errorf("router: slot words %d out of range", p.SlotWords)
+	}
+	return nil
+}
+
+// Router is one daelite router instance.
+type Router struct {
+	name   string
+	id     int // configuration element ID
+	params Params
+
+	// Data path. inWires[i] is the wire feeding input port i; outWires[o]
+	// is the wire driven by output port o. The router owns the output
+	// wires; upstream elements own the input wires.
+	inWires  []*sim.Reg[phit.Flit]
+	inRegs   []*sim.Reg[phit.Flit] // first buffering stage
+	outWires []*sim.Reg[phit.Flit]
+
+	table *slots.RouterTable
+	dec   *cfgproto.Decoder
+
+	// Configuration tree node. cfgIn is owned by the parent; cfgInReg is
+	// the first buffering stage; cfgOuts are owned by this router and
+	// feed the children. The reverse path mirrors this.
+	cfgIn     *sim.Reg[phit.ConfigWord]
+	cfgInReg  *sim.Reg[phit.ConfigWord]
+	cfgOuts   []*sim.Reg[phit.ConfigWord]
+	respIns   []*sim.Reg[phit.Response]
+	respMerge *sim.Reg[phit.Response]
+	respOut   *sim.Reg[phit.Response]
+
+	// forwarded counts valid words driven on any output (activity for
+	// the energy model).
+	forwarded uint64
+}
+
+// New creates a router with the given port counts, registers its state
+// with s, and returns it. inWires are the link wires feeding each input
+// port (may contain nils to be connected later via ConnectInput).
+func New(s *sim.Simulator, name string, id int, numIn, numOut int, params Params) (*Router, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if numOut > cfgproto.MaxRouterPort+1 || numIn > cfgproto.MaxRouterPort+1 {
+		return nil, fmt.Errorf("router %s: arity %d/%d exceeds configuration encoding limit %d",
+			name, numIn, numOut, cfgproto.MaxRouterPort+1)
+	}
+	r := &Router{
+		name:      name,
+		id:        id,
+		params:    params,
+		inWires:   make([]*sim.Reg[phit.Flit], numIn),
+		inRegs:    make([]*sim.Reg[phit.Flit], numIn),
+		outWires:  make([]*sim.Reg[phit.Flit], numOut),
+		table:     slots.NewRouterTable(numOut, params.Wheel),
+		cfgInReg:  sim.NewReg(s, phit.ConfigWord{}),
+		respMerge: sim.NewReg(s, phit.Response{}),
+		respOut:   sim.NewReg(s, phit.Response{}),
+	}
+	for i := range r.inRegs {
+		r.inRegs[i] = sim.NewReg(s, phit.Idle())
+	}
+	for o := range r.outWires {
+		r.outWires[o] = sim.NewReg(s, phit.Idle())
+	}
+	r.dec = cfgproto.NewDecoder(id, params.Wheel, (*routerSink)(r))
+	s.Add(r)
+	return r, nil
+}
+
+// Name implements sim.Component.
+func (r *Router) Name() string { return r.name }
+
+// ID returns the configuration element ID.
+func (r *Router) ID() int { return r.id }
+
+// ConnectInput attaches the wire feeding input port i.
+func (r *Router) ConnectInput(i int, wire *sim.Reg[phit.Flit]) {
+	r.inWires[i] = wire
+}
+
+// OutputWire returns the wire driven by output port o, to be connected as
+// the downstream element's input.
+func (r *Router) OutputWire(o int) *sim.Reg[phit.Flit] { return r.outWires[o] }
+
+// ConnectConfigIn attaches the forward configuration wire from the tree
+// parent.
+func (r *Router) ConnectConfigIn(wire *sim.Reg[phit.ConfigWord]) { r.cfgIn = wire }
+
+// AddConfigChild allocates a forward wire toward a tree child and the
+// reverse wire back from it; the child connects to both. Returns the
+// forward wire; the caller passes respIn (the child's respOut).
+func (r *Router) AddConfigChild(s *sim.Simulator) *sim.Reg[phit.ConfigWord] {
+	w := sim.NewReg(s, phit.ConfigWord{})
+	r.cfgOuts = append(r.cfgOuts, w)
+	return w
+}
+
+// AddResponseChild attaches a child's reverse wire.
+func (r *Router) AddResponseChild(wire *sim.Reg[phit.Response]) {
+	r.respIns = append(r.respIns, wire)
+}
+
+// ResponseWire returns this router's reverse wire toward its tree parent.
+func (r *Router) ResponseWire() *sim.Reg[phit.Response] { return r.respOut }
+
+// Table exposes the slot table for inspection by tests and probes.
+func (r *Router) Table() *slots.RouterTable { return r.table }
+
+// Forwarded returns the number of valid words this router has driven on
+// its outputs — the activity count the energy model multiplies by the
+// per-traversal energy.
+func (r *Router) Forwarded() uint64 { return r.forwarded }
+
+// Eval implements sim.Component.
+func (r *Router) Eval(cycle uint64) {
+	// Stage 1: latch input wires into the input registers.
+	for i, w := range r.inWires {
+		if w != nil {
+			r.inRegs[i].Set(w.Get())
+		} else {
+			r.inRegs[i].Set(phit.Idle())
+		}
+	}
+
+	// Stage 2: crossbar. The output registers present their values
+	// during cycle+1, so the slot table is indexed by the slot of
+	// cycle+1 (the output slot).
+	outSlot := slots.SlotOfCycle(cycle+1, r.params.SlotWords, r.params.Wheel)
+	for o := range r.outWires {
+		in := r.table.Input(o, outSlot)
+		if in == slots.NoInput || in >= len(r.inRegs) {
+			r.outWires[o].Set(phit.Idle())
+			continue
+		}
+		f := r.inRegs[in].Get()
+		if f.Valid {
+			r.forwarded++
+		}
+		r.outWires[o].Set(f)
+	}
+
+	// Configuration tree node: buffer twice per hop, feed the decoder
+	// from the first stage.
+	var inWord phit.ConfigWord
+	if r.cfgIn != nil {
+		inWord = r.cfgIn.Get()
+	}
+	r.cfgInReg.Set(inWord)
+	for _, out := range r.cfgOuts {
+		out.Set(r.cfgInReg.Get())
+	}
+	localResp := r.dec.Feed(r.cfgInReg.Get())
+
+	// Reverse path: merge children and local response, buffered twice.
+	merged := localResp
+	for _, in := range r.respIns {
+		merged = phit.Merge(merged, in.Get())
+	}
+	r.respMerge.Set(merged)
+	r.respOut.Set(r.respMerge.Get())
+}
+
+// Commit implements sim.Component; all state lives in sim.Reg.
+func (r *Router) Commit() {}
+
+// routerSink adapts the router to cfgproto.Sink.
+type routerSink Router
+
+func (rs *routerSink) ApplySlots(mask slots.Mask, spec cfgproto.PortSpec) {
+	r := (*Router)(rs)
+	if spec.ForNI {
+		return // malformed: NI spec addressed to a router; ignore
+	}
+	if spec.Out < 0 || spec.Out >= r.table.NumOutputs() {
+		return // out-of-range output: drop, as hardware would
+	}
+	_ = r.table.Set(spec.Out, mask, spec.In)
+}
+
+func (rs *routerSink) WriteReg(reg, value uint8) {
+	// Routers hold no writable registers beyond the slot table.
+}
+
+func (rs *routerSink) ReadReg(reg uint8) (uint8, bool) {
+	return 0, false
+}

@@ -1,0 +1,241 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// counter increments a register every cycle; used to validate two-phase
+// semantics.
+type counter struct {
+	r *Reg[int]
+}
+
+func (c *counter) Name() string { return "counter" }
+func (c *counter) Eval(uint64)  { c.r.Set(c.r.Get() + 1) }
+func (c *counter) Commit()      {}
+
+func TestRegTwoPhase(t *testing.T) {
+	s := New()
+	r := NewReg(s, 10)
+	s.Add(&counter{r: r})
+	if got := r.Get(); got != 10 {
+		t.Fatalf("initial Get = %d, want 10", got)
+	}
+	s.Step()
+	if got := r.Get(); got != 11 {
+		t.Fatalf("after 1 cycle Get = %d, want 11", got)
+	}
+	s.Run(9)
+	if got := r.Get(); got != 20 {
+		t.Fatalf("after 10 cycles Get = %d, want 20", got)
+	}
+	if s.Cycle() != 10 {
+		t.Fatalf("Cycle = %d, want 10", s.Cycle())
+	}
+}
+
+// relay copies src into dst each cycle; a chain of relays must behave as a
+// shift register, proving Eval order independence.
+type relay struct {
+	label    string
+	src, dst *Reg[int]
+}
+
+func (r *relay) Name() string { return r.label }
+func (r *relay) Eval(uint64)  { r.dst.Set(r.src.Get()) }
+func (r *relay) Commit()      {}
+
+func TestShiftRegisterOrderIndependence(t *testing.T) {
+	// Build the chain twice: once in forward order, once reversed. The
+	// observable behaviour must be identical.
+	build := func(reversed bool) []int {
+		s := New()
+		const n = 5
+		regs := make([]*Reg[int], n+1)
+		for i := range regs {
+			regs[i] = NewReg(s, 0)
+		}
+		comps := make([]Component, n)
+		for i := 0; i < n; i++ {
+			comps[i] = &relay{label: "relay", src: regs[i], dst: regs[i+1]}
+		}
+		if reversed {
+			for i, j := 0, len(comps)-1; i < j; i, j = i+1, j-1 {
+				comps[i], comps[j] = comps[j], comps[i]
+			}
+		}
+		for _, c := range comps {
+			s.Add(c)
+		}
+		// Drive the head with the cycle number.
+		s.Add(&Func{Label: "drive", OnEval: func(cy uint64) { regs[0].Set(int(cy) + 1) }})
+		var out []int
+		for i := 0; i < 12; i++ {
+			s.Step()
+			out = append(out, regs[n].Get())
+		}
+		return out
+	}
+	fwd := build(false)
+	rev := build(true)
+	for i := range fwd {
+		if fwd[i] != rev[i] {
+			t.Fatalf("cycle %d: forward %d != reversed %d", i, fwd[i], rev[i])
+		}
+	}
+	// After n cycles of latency the tail must reproduce the input stream.
+	want := []int{0, 0, 0, 0, 0, 1, 2, 3, 4, 5, 6, 7}
+	for i := range want {
+		if fwd[i] != want[i] {
+			t.Fatalf("tail[%d] = %d, want %d (%v)", i, fwd[i], want[i], fwd)
+		}
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	r := NewReg(s, 0)
+	s.Add(&counter{r: r})
+	cycle, ok := s.RunUntil(func() bool { return r.Get() >= 7 }, 100)
+	if !ok {
+		t.Fatal("condition never held")
+	}
+	if cycle != 7 {
+		t.Fatalf("condition held at cycle %d, want 7", cycle)
+	}
+	_, ok = s.RunUntil(func() bool { return false }, 5)
+	if ok {
+		t.Fatal("impossible condition reported as held")
+	}
+}
+
+func TestStop(t *testing.T) {
+	s := New()
+	r := NewReg(s, 0)
+	s.Add(&counter{r: r})
+	s.Add(&Func{Label: "stopper", OnEval: func(uint64) {
+		if r.Get() == 3 {
+			s.Stop("hit 3")
+		}
+	}})
+	ran := s.Run(100)
+	if ran >= 100 {
+		t.Fatal("Stop did not halt the run")
+	}
+	stopped, reason := s.Stopped()
+	if !stopped || reason != "hit 3" {
+		t.Fatalf("Stopped() = %v %q", stopped, reason)
+	}
+}
+
+func TestProbeSeesSettledState(t *testing.T) {
+	s := New()
+	r := NewReg(s, 0)
+	s.Add(&counter{r: r})
+	var seen []int
+	s.AddProbe(func(uint64) { seen = append(seen, r.Get()) })
+	s.Run(4)
+	want := []int{1, 2, 3, 4}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("probe[%d] = %d, want %d", i, seen[i], want[i])
+		}
+	}
+}
+
+func TestPeek(t *testing.T) {
+	s := New()
+	r := NewReg(s, 1)
+	if r.Peek() != 1 {
+		t.Fatal("Peek before Set should return current")
+	}
+	r.Set(9)
+	if r.Peek() != 9 {
+		t.Fatal("Peek after Set should return next")
+	}
+	if r.Get() != 1 {
+		t.Fatal("Get must not observe uncommitted value")
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a = NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestRNGZeroSeed(t *testing.T) {
+	r := NewRNG(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed stuck at zero")
+	}
+}
+
+func TestRNGIntnBounds(t *testing.T) {
+	r := NewRNG(7)
+	f := func(n uint8) bool {
+		m := int(n%100) + 1
+		v := r.Intn(m)
+		return v >= 0 && v < m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	r := NewRNG(11)
+	f := func(n uint8) bool {
+		m := int(n % 64)
+		p := r.Perm(m)
+		if len(p) != m {
+			return false
+		}
+		seen := make(map[int]bool, m)
+		for _, v := range p {
+			if v < 0 || v >= m || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(13)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestComponentNamesSorted(t *testing.T) {
+	s := New()
+	s.Add(&Func{Label: "zeta"})
+	s.Add(&Func{Label: "alpha"})
+	names := s.ComponentNames()
+	if len(names) != 2 || names[0] != "alpha" || names[1] != "zeta" {
+		t.Fatalf("ComponentNames = %v", names)
+	}
+}

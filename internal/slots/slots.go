@@ -1,0 +1,367 @@
+// Package slots implements TDM slot arithmetic and the slot tables at the
+// heart of contention-free routing: the affected-slot masks carried by
+// configuration packets (with the per-pair rotation that compensates the
+// one-slot-per-hop pipeline advance), the per-output router tables that
+// select an input for each slot, and the NI tables that govern packet
+// departures and arrivals.
+package slots
+
+import (
+	"fmt"
+	"strings"
+)
+
+// MaxTableSize bounds the slot-wheel size; masks are held in a single
+// 64-bit word, which covers every configuration evaluated in the paper
+// (8–32 slots).
+const MaxTableSize = 64
+
+// Mask is a set of slots out of a wheel of Size slots.
+type Mask struct {
+	Bits uint64
+	Size int
+}
+
+// NewMask returns an empty mask over a wheel of size n.
+func NewMask(n int) Mask {
+	if n <= 0 || n > MaxTableSize {
+		panic(fmt.Sprintf("slots: table size %d out of range (1..%d)", n, MaxTableSize))
+	}
+	return Mask{Size: n}
+}
+
+// MaskOf returns a mask over a wheel of size n with the given slots set.
+func MaskOf(n int, slotList ...int) Mask {
+	m := NewMask(n)
+	for _, s := range slotList {
+		m = m.With(s)
+	}
+	return m
+}
+
+// With returns the mask with slot s added.
+func (m Mask) With(s int) Mask {
+	if s < 0 || s >= m.Size {
+		panic(fmt.Sprintf("slots: slot %d out of range for wheel of %d", s, m.Size))
+	}
+	m.Bits |= 1 << uint(s)
+	return m
+}
+
+// Without returns the mask with slot s removed.
+func (m Mask) Without(s int) Mask {
+	if s < 0 || s >= m.Size {
+		panic(fmt.Sprintf("slots: slot %d out of range for wheel of %d", s, m.Size))
+	}
+	m.Bits &^= 1 << uint(s)
+	return m
+}
+
+// Has reports whether slot s is in the mask.
+func (m Mask) Has(s int) bool {
+	return s >= 0 && s < m.Size && m.Bits&(1<<uint(s)) != 0
+}
+
+// Count returns the number of slots in the mask.
+func (m Mask) Count() int {
+	n := 0
+	for b := m.Bits; b != 0; b &= b - 1 {
+		n++
+	}
+	return n
+}
+
+// Slots lists the member slots in ascending order.
+func (m Mask) Slots() []int {
+	var out []int
+	for s := 0; s < m.Size; s++ {
+		if m.Has(s) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Empty reports whether no slot is set.
+func (m Mask) Empty() bool { return m.Bits == 0 }
+
+// Union returns the union of two masks over the same wheel.
+func (m Mask) Union(o Mask) Mask {
+	m.mustMatch(o)
+	m.Bits |= o.Bits
+	return m
+}
+
+// Intersect returns the intersection of two masks over the same wheel.
+func (m Mask) Intersect(o Mask) Mask {
+	m.mustMatch(o)
+	m.Bits &= o.Bits
+	return m
+}
+
+// Overlaps reports whether the two masks share a slot.
+func (m Mask) Overlaps(o Mask) bool {
+	m.mustMatch(o)
+	return m.Bits&o.Bits != 0
+}
+
+func (m Mask) mustMatch(o Mask) {
+	if m.Size != o.Size {
+		panic(fmt.Sprintf("slots: mixing wheels of %d and %d slots", m.Size, o.Size))
+	}
+}
+
+// RotateDown returns the mask rotated k positions toward lower slot
+// indices, with wrap-around: slot s becomes slot (s-k) mod Size. This is
+// the rotation configuration decoders apply once per processed
+// (element-ID, ports) pair — the pair for the element one hop closer to
+// the source addresses slots one position lower, because data injected at
+// slot s occupies slot s+h on the h-th link of its path.
+func (m Mask) RotateDown(k int) Mask {
+	n := uint(m.Size)
+	k = ((k % m.Size) + m.Size) % m.Size
+	if k == 0 {
+		return m
+	}
+	low := m.Bits & ((1 << uint(k)) - 1) // slots 0..k-1 wrap to the top
+	m.Bits = (m.Bits >> uint(k)) | (low << (n - uint(k)))
+	m.Bits &= wheelMask(m.Size)
+	return m
+}
+
+// RotateUp is the inverse of RotateDown: slot s becomes (s+k) mod Size.
+// The allocator uses it to compute the mask a configuration packet must
+// carry (the destination view) from the source injection slots.
+func (m Mask) RotateUp(k int) Mask {
+	k = ((k % m.Size) + m.Size) % m.Size
+	return m.RotateDown(m.Size - k)
+}
+
+func wheelMask(n int) uint64 {
+	if n == 64 {
+		return ^uint64(0)
+	}
+	return (1 << uint(n)) - 1
+}
+
+// String renders the mask as bits, slot Size-1 first (as transmitted).
+func (m Mask) String() string {
+	var b strings.Builder
+	for s := m.Size - 1; s >= 0; s-- {
+		if m.Has(s) {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}
+
+// NoInput marks a router table entry with no connection: the output sends
+// idle during that slot.
+const NoInput = -1
+
+// RouterTable is a daelite router's TDM schedule: for each output port and
+// each slot, the input port the output forwards, or NoInput. Multicast is
+// the natural consequence of two outputs naming the same input in the same
+// slot.
+type RouterTable struct {
+	numOutputs int
+	size       int
+	entries    [][]int // [output][slot] -> input or NoInput
+}
+
+// NewRouterTable returns an all-idle table for a router with the given
+// output port count over a wheel of size slots.
+func NewRouterTable(numOutputs, size int) *RouterTable {
+	if size <= 0 || size > MaxTableSize {
+		panic(fmt.Sprintf("slots: table size %d out of range", size))
+	}
+	t := &RouterTable{numOutputs: numOutputs, size: size}
+	t.entries = make([][]int, numOutputs)
+	for o := range t.entries {
+		row := make([]int, size)
+		for s := range row {
+			row[s] = NoInput
+		}
+		t.entries[o] = row
+	}
+	return t
+}
+
+// Size returns the wheel size.
+func (t *RouterTable) Size() int { return t.size }
+
+// NumOutputs returns the number of output ports.
+func (t *RouterTable) NumOutputs() int { return t.numOutputs }
+
+// Set connects output port out to input port in during every slot in mask.
+// in == NoInput tears the slots down.
+func (t *RouterTable) Set(out int, mask Mask, in int) error {
+	if out < 0 || out >= t.numOutputs {
+		return fmt.Errorf("slots: output %d out of range (router has %d outputs)", out, t.numOutputs)
+	}
+	if mask.Size != t.size {
+		return fmt.Errorf("slots: mask wheel %d != table wheel %d", mask.Size, t.size)
+	}
+	for _, s := range mask.Slots() {
+		t.entries[out][s] = in
+	}
+	return nil
+}
+
+// Input returns the input feeding output out during slot s, or NoInput.
+func (t *RouterTable) Input(out, slot int) int {
+	return t.entries[out][slot]
+}
+
+// OccupiedMask returns the mask of slots during which output out is
+// driven.
+func (t *RouterTable) OccupiedMask(out int) Mask {
+	m := NewMask(t.size)
+	for s := 0; s < t.size; s++ {
+		if t.entries[out][s] != NoInput {
+			m = m.With(s)
+		}
+	}
+	return m
+}
+
+// Clone returns a deep copy (used by tests and the online allocator's
+// what-if evaluation).
+func (t *RouterTable) Clone() *RouterTable {
+	c := NewRouterTable(t.numOutputs, t.size)
+	for o := range t.entries {
+		copy(c.entries[o], t.entries[o])
+	}
+	return c
+}
+
+// NoChannel marks an NI table field with no duty.
+const NoChannel = -1
+
+// NISlot is one slot's duty in an NI table. The NI link is full duplex
+// (independent outgoing and incoming wires), so each slot carries an
+// independent transmit duty and receive duty: the single table "governs
+// both packet departures and arrivals" without the two competing for
+// entries.
+type NISlot struct {
+	// TX is the channel injected during this slot, or NoChannel.
+	TX int
+	// RX is the channel arriving words are deposited into, or
+	// NoChannel.
+	RX int
+}
+
+// NITable is an NI's TDM schedule governing both packet departures and
+// arrivals.
+type NITable struct {
+	size    int
+	entries []NISlot
+}
+
+// NewNITable returns an all-idle NI table over a wheel of size slots.
+func NewNITable(size int) *NITable {
+	if size <= 0 || size > MaxTableSize {
+		panic(fmt.Sprintf("slots: table size %d out of range", size))
+	}
+	t := &NITable{size: size, entries: make([]NISlot, size)}
+	for i := range t.entries {
+		t.entries[i] = NISlot{TX: NoChannel, RX: NoChannel}
+	}
+	return t
+}
+
+// Size returns the wheel size.
+func (t *NITable) Size() int { return t.size }
+
+// SetSend assigns the transmit duty of every slot in mask (NoChannel
+// clears).
+func (t *NITable) SetSend(mask Mask, channel int) error {
+	if mask.Size != t.size {
+		return fmt.Errorf("slots: mask wheel %d != table wheel %d", mask.Size, t.size)
+	}
+	for _, s := range mask.Slots() {
+		t.entries[s].TX = channel
+	}
+	return nil
+}
+
+// SetReceive assigns the receive duty of every slot in mask (NoChannel
+// clears).
+func (t *NITable) SetReceive(mask Mask, channel int) error {
+	if mask.Size != t.size {
+		return fmt.Errorf("slots: mask wheel %d != table wheel %d", mask.Size, t.size)
+	}
+	for _, s := range mask.Slots() {
+		t.entries[s].RX = channel
+	}
+	return nil
+}
+
+// Entry returns the duties of slot s.
+func (t *NITable) Entry(s int) NISlot { return t.entries[s] }
+
+// Send returns the channel injected in slot s, if any.
+func (t *NITable) Send(s int) (int, bool) {
+	ch := t.entries[s].TX
+	return ch, ch != NoChannel
+}
+
+// Receive returns the channel receiving in slot s, if any.
+func (t *NITable) Receive(s int) (int, bool) {
+	ch := t.entries[s].RX
+	return ch, ch != NoChannel
+}
+
+// SendMask returns the slots with a transmit duty.
+func (t *NITable) SendMask() Mask {
+	m := NewMask(t.size)
+	for s, e := range t.entries {
+		if e.TX != NoChannel {
+			m = m.With(s)
+		}
+	}
+	return m
+}
+
+// ReceiveMask returns the slots with a receive duty.
+func (t *NITable) ReceiveMask() Mask {
+	m := NewMask(t.size)
+	for s, e := range t.entries {
+		if e.RX != NoChannel {
+			m = m.With(s)
+		}
+	}
+	return m
+}
+
+// OccupiedMask returns the slots with any duty.
+func (t *NITable) OccupiedMask() Mask {
+	return t.SendMask().Union(t.ReceiveMask())
+}
+
+// Clone returns a deep copy.
+func (t *NITable) Clone() *NITable {
+	c := NewNITable(t.size)
+	copy(c.entries, t.entries)
+	return c
+}
+
+// SlotOfCycle returns the slot index on the wheel at the given cycle for a
+// slot of slotWords words: slot = (cycle / slotWords) mod size.
+func SlotOfCycle(cycle uint64, slotWords, size int) int {
+	return int((cycle / uint64(slotWords)) % uint64(size))
+}
+
+// CycleOfSlot returns the first cycle at or after 'from' at which the wheel
+// is at the start of slot s.
+func CycleOfSlot(from uint64, s, slotWords, size int) uint64 {
+	period := uint64(slotWords * size)
+	base := (from / period) * period
+	target := base + uint64(s*slotWords)
+	for target < from {
+		target += period
+	}
+	return target
+}

@@ -1,0 +1,186 @@
+package topology
+
+import "fmt"
+
+// MeshSpec parameterizes a regular 2-D mesh platform: Width x Height
+// routers, each with NIsPerRouter network interfaces attached by
+// bidirectional links.
+type MeshSpec struct {
+	Width, Height int
+	NIsPerRouter  int
+	// Wrap turns the mesh into a torus by adding wrap-around links.
+	Wrap bool
+}
+
+// Mesh holds a built mesh graph plus convenient indexes into it.
+type Mesh struct {
+	*Graph
+	Spec MeshSpec
+	// RouterAt[y][x] is the router at mesh position (x, y).
+	RouterAt [][]NodeID
+	// NIsOf[r] lists the NIs attached to router r.
+	NIsOf map[NodeID][]NodeID
+	// AllNIs lists every NI in creation order: router-major, then local
+	// index.
+	AllNIs []NodeID
+}
+
+// NewMesh builds a Width x Height mesh (optionally a torus) with
+// NIsPerRouter NIs per router. Port numbering at each router follows link
+// creation order: NI links first (local ports), then neighbour links in
+// east, west, south, north order where present.
+func NewMesh(spec MeshSpec) (*Mesh, error) {
+	if spec.Width < 1 || spec.Height < 1 {
+		return nil, fmt.Errorf("topology: mesh dimensions %dx%d invalid", spec.Width, spec.Height)
+	}
+	if spec.NIsPerRouter < 0 {
+		return nil, fmt.Errorf("topology: negative NIs per router")
+	}
+	g := NewGraph()
+	m := &Mesh{
+		Graph: g,
+		Spec:  spec,
+		NIsOf: make(map[NodeID][]NodeID),
+	}
+	m.RouterAt = make([][]NodeID, spec.Height)
+	for y := 0; y < spec.Height; y++ {
+		m.RouterAt[y] = make([]NodeID, spec.Width)
+		for x := 0; x < spec.Width; x++ {
+			m.RouterAt[y][x] = g.AddNode(Router, fmt.Sprintf("R%d%d", x, y), x, y)
+		}
+	}
+	// Attach NIs first so that local ports get the lowest indices, as in
+	// the reference platform (Fig. 3).
+	for y := 0; y < spec.Height; y++ {
+		for x := 0; x < spec.Width; x++ {
+			r := m.RouterAt[y][x]
+			for i := 0; i < spec.NIsPerRouter; i++ {
+				name := fmt.Sprintf("NI%d%d", x, y)
+				if spec.NIsPerRouter > 1 {
+					name = fmt.Sprintf("NI%d%d.%d", x, y, i)
+				}
+				ni := g.AddNode(NI, name, x, y)
+				g.AddBidi(ni, r)
+				m.NIsOf[r] = append(m.NIsOf[r], ni)
+				m.AllNIs = append(m.AllNIs, ni)
+			}
+		}
+	}
+	// Neighbour links: east, west, south, north.
+	for y := 0; y < spec.Height; y++ {
+		for x := 0; x < spec.Width; x++ {
+			r := m.RouterAt[y][x]
+			type nb struct{ dx, dy int }
+			for _, d := range []nb{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+				nx, ny := x+d.dx, y+d.dy
+				if spec.Wrap {
+					nx = (nx + spec.Width) % spec.Width
+					ny = (ny + spec.Height) % spec.Height
+				}
+				if nx < 0 || nx >= spec.Width || ny < 0 || ny >= spec.Height {
+					continue
+				}
+				if nx == x && ny == y {
+					continue // degenerate wrap on 1-wide dimension
+				}
+				n := m.RouterAt[ny][nx]
+				// Add each undirected neighbour pair once, from
+				// the lower-ID side, as a bidi pair.
+				if r < n {
+					g.AddBidi(r, n)
+				}
+			}
+		}
+	}
+	return m, nil
+}
+
+// Router returns the router at (x, y).
+func (m *Mesh) Router(x, y int) NodeID { return m.RouterAt[y][x] }
+
+// NI returns the i-th NI of the router at (x, y).
+func (m *Mesh) NI(x, y, i int) NodeID { return m.NIsOf[m.RouterAt[y][x]][i] }
+
+// NewRing builds a ring of n routers with one NI each.
+func NewRing(n int) (*Mesh, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("topology: ring needs >= 2 routers")
+	}
+	g := NewGraph()
+	m := &Mesh{
+		Graph: g,
+		Spec:  MeshSpec{Width: n, Height: 1, NIsPerRouter: 1},
+		NIsOf: make(map[NodeID][]NodeID),
+	}
+	m.RouterAt = [][]NodeID{make([]NodeID, n)}
+	for i := 0; i < n; i++ {
+		m.RouterAt[0][i] = g.AddNode(Router, fmt.Sprintf("R%d", i), i, 0)
+	}
+	for i := 0; i < n; i++ {
+		r := m.RouterAt[0][i]
+		ni := g.AddNode(NI, fmt.Sprintf("NI%d", i), i, 0)
+		g.AddBidi(ni, r)
+		m.NIsOf[r] = append(m.NIsOf[r], ni)
+		m.AllNIs = append(m.AllNIs, ni)
+	}
+	for i := 0; i < n; i++ {
+		a, b := m.RouterAt[0][i], m.RouterAt[0][(i+1)%n]
+		if n == 2 && i == 1 {
+			break // avoid doubling the single edge
+		}
+		g.AddBidi(a, b)
+	}
+	return m, nil
+}
+
+// ConfigRoot picks the network element the configuration tree is rooted
+// at: the router attached to the host NI (the host IP's configuration
+// module drives the tree from there). hostNI must be an NI.
+func (m *Mesh) ConfigRoot(hostNI NodeID) (NodeID, error) {
+	if m.Node(hostNI).Kind != NI {
+		return 0, fmt.Errorf("topology: config root must be chosen from an NI, got %v", m.Node(hostNI).Kind)
+	}
+	for _, l := range m.Out(hostNI) {
+		to := m.Link(l).To
+		if m.Node(to).Kind == Router {
+			return to, nil
+		}
+	}
+	return 0, fmt.Errorf("topology: host NI %d has no router link", hostNI)
+}
+
+// NewSpidergon builds a Spidergon topology (the Quarc/STM arrangement
+// referenced in Table II): n routers in a ring, each also linked to the
+// diametrically opposite router, one NI per router. n must be even and
+// >= 4.
+func NewSpidergon(n int) (*Mesh, error) {
+	if n < 4 || n%2 != 0 {
+		return nil, fmt.Errorf("topology: spidergon needs an even router count >= 4")
+	}
+	g := NewGraph()
+	m := &Mesh{
+		Graph: g,
+		Spec:  MeshSpec{Width: n, Height: 1, NIsPerRouter: 1},
+		NIsOf: make(map[NodeID][]NodeID),
+	}
+	m.RouterAt = [][]NodeID{make([]NodeID, n)}
+	for i := 0; i < n; i++ {
+		m.RouterAt[0][i] = g.AddNode(Router, fmt.Sprintf("R%d", i), i, 0)
+	}
+	for i := 0; i < n; i++ {
+		r := m.RouterAt[0][i]
+		ni := g.AddNode(NI, fmt.Sprintf("NI%d", i), i, 0)
+		g.AddBidi(ni, r)
+		m.NIsOf[r] = append(m.NIsOf[r], ni)
+		m.AllNIs = append(m.AllNIs, ni)
+	}
+	// Ring links.
+	for i := 0; i < n; i++ {
+		g.AddBidi(m.RouterAt[0][i], m.RouterAt[0][(i+1)%n])
+	}
+	// Cross links to the opposite router (added once per pair).
+	for i := 0; i < n/2; i++ {
+		g.AddBidi(m.RouterAt[0][i], m.RouterAt[0][i+n/2])
+	}
+	return m, nil
+}

@@ -1,0 +1,435 @@
+// Package topology models the structural graph of a daelite SoC: network
+// elements (routers and network interfaces) connected by directed links,
+// with per-element port numbering. It provides regular-topology builders
+// (mesh, torus, ring), shortest-path routing queries, simple-path
+// enumeration for multipath allocation, and the minimal-depth spanning tree
+// used by the configuration broadcast network.
+package topology
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a network element (router or NI).
+type NodeID int
+
+// LinkID identifies one directed link.
+type LinkID int
+
+// Kind distinguishes element types.
+type Kind int
+
+const (
+	// Router is a daelite router with a slot table per output.
+	Router Kind = iota
+	// NI is a network interface with TX/RX slot tables and channel
+	// queues.
+	NI
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Router:
+		return "router"
+	case NI:
+		return "ni"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Node is one network element.
+type Node struct {
+	ID   NodeID
+	Kind Kind
+	Name string
+	// X, Y are layout coordinates (mesh position; NIs share their
+	// router's coordinates). Used for reporting only.
+	X, Y int
+}
+
+// Link is one directed link. FromPort/ToPort are the output port index at
+// the source element and the input port index at the destination element.
+type Link struct {
+	ID       LinkID
+	From, To NodeID
+	FromPort int
+	ToPort   int
+}
+
+// Graph is a directed multigraph of network elements.
+type Graph struct {
+	nodes []Node
+	links []Link
+	// out[n] lists link IDs leaving n ordered by FromPort; in[n] lists
+	// link IDs entering n ordered by ToPort.
+	out, in map[NodeID][]LinkID
+	// pair[l] is the reverse link of l for bidirectional channels.
+	pair map[LinkID]LinkID
+	// pipeline[l] is the number of extra register-pair stages on the
+	// link (mesochronous/long-link support): each stage adds one slot
+	// of latency on top of the standard hop.
+	pipeline map[LinkID]int
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{
+		out:      make(map[NodeID][]LinkID),
+		in:       make(map[NodeID][]LinkID),
+		pair:     make(map[LinkID]LinkID),
+		pipeline: make(map[LinkID]int),
+	}
+}
+
+// SetPipeline marks link l as pipelined with the given number of extra
+// register-pair stages (0 restores a standard link). Long or mesochronous
+// links are modeled this way: every stage adds exactly one TDM slot of
+// latency, preserving contention-free scheduling.
+func (g *Graph) SetPipeline(l LinkID, stages int) {
+	if stages <= 0 {
+		delete(g.pipeline, l)
+		return
+	}
+	g.pipeline[l] = stages
+}
+
+// Pipeline returns the extra stage count of link l (0 for standard
+// links).
+func (g *Graph) Pipeline(l LinkID) int { return g.pipeline[l] }
+
+// SlotAdvance returns how many TDM slot positions a link shifts a
+// connection: one for the standard hop plus one per pipeline stage.
+func (g *Graph) SlotAdvance(l LinkID) int { return 1 + g.pipeline[l] }
+
+// PathSlotAdvance sums the slot advance over a path — the destination's
+// slot offset relative to the injection slot.
+func (g *Graph) PathSlotAdvance(p Path) int {
+	total := 0
+	for _, l := range p {
+		total += g.SlotAdvance(l)
+	}
+	return total
+}
+
+// AddNode appends a node and returns its ID.
+func (g *Graph) AddNode(kind Kind, name string, x, y int) NodeID {
+	id := NodeID(len(g.nodes))
+	g.nodes = append(g.nodes, Node{ID: id, Kind: kind, Name: name, X: x, Y: y})
+	return id
+}
+
+// AddLink adds one directed link from a to b, assigning the next free
+// output port at a and input port at b, and returns its ID.
+func (g *Graph) AddLink(a, b NodeID) LinkID {
+	id := LinkID(len(g.links))
+	l := Link{
+		ID:       id,
+		From:     a,
+		To:       b,
+		FromPort: len(g.out[a]),
+		ToPort:   len(g.in[b]),
+	}
+	g.links = append(g.links, l)
+	g.out[a] = append(g.out[a], id)
+	g.in[b] = append(g.in[b], id)
+	return id
+}
+
+// AddBidi adds a link pair a→b and b→a and records them as each other's
+// reverse. It returns both IDs.
+func (g *Graph) AddBidi(a, b NodeID) (ab, ba LinkID) {
+	ab = g.AddLink(a, b)
+	ba = g.AddLink(b, a)
+	g.pair[ab] = ba
+	g.pair[ba] = ab
+	return ab, ba
+}
+
+// Reverse returns the paired reverse link of l and whether one exists.
+func (g *Graph) Reverse(l LinkID) (LinkID, bool) {
+	r, ok := g.pair[l]
+	return r, ok
+}
+
+// Node returns the node with the given ID.
+func (g *Graph) Node(id NodeID) Node { return g.nodes[id] }
+
+// Link returns the link with the given ID.
+func (g *Graph) Link(id LinkID) Link { return g.links[id] }
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumLinks returns the directed-link count.
+func (g *Graph) NumLinks() int { return len(g.links) }
+
+// Nodes returns all nodes in ID order.
+func (g *Graph) Nodes() []Node {
+	out := make([]Node, len(g.nodes))
+	copy(out, g.nodes)
+	return out
+}
+
+// Links returns all links in ID order.
+func (g *Graph) Links() []Link {
+	out := make([]Link, len(g.links))
+	copy(out, g.links)
+	return out
+}
+
+// Out returns the IDs of links leaving n, ordered by output port.
+func (g *Graph) Out(n NodeID) []LinkID {
+	out := make([]LinkID, len(g.out[n]))
+	copy(out, g.out[n])
+	return out
+}
+
+// In returns the IDs of links entering n, ordered by input port.
+func (g *Graph) In(n NodeID) []LinkID {
+	in := make([]LinkID, len(g.in[n]))
+	copy(in, g.in[n])
+	return in
+}
+
+// OutDegree and InDegree return port counts; Arity is their max, matching
+// the hardware notion of router arity.
+func (g *Graph) OutDegree(n NodeID) int { return len(g.out[n]) }
+
+// InDegree returns the number of input ports of n.
+func (g *Graph) InDegree(n NodeID) int { return len(g.in[n]) }
+
+// Arity returns max(in-degree, out-degree) of n.
+func (g *Graph) Arity(n NodeID) int {
+	if d := g.OutDegree(n); d > g.InDegree(n) {
+		return d
+	}
+	return g.InDegree(n)
+}
+
+// NodesOfKind returns IDs of all nodes of kind k, in ID order.
+func (g *Graph) NodesOfKind(k Kind) []NodeID {
+	var ids []NodeID
+	for _, n := range g.nodes {
+		if n.Kind == k {
+			ids = append(ids, n.ID)
+		}
+	}
+	return ids
+}
+
+// FindNode returns the ID of the node with the given name.
+func (g *Graph) FindNode(name string) (NodeID, bool) {
+	for _, n := range g.nodes {
+		if n.Name == name {
+			return n.ID, true
+		}
+	}
+	return 0, false
+}
+
+// Path is a sequence of directed links where each link starts at the node
+// the previous one ended at.
+type Path []LinkID
+
+// Nodes expands a path into the node sequence it traverses.
+func (g *Graph) PathNodes(p Path) []NodeID {
+	if len(p) == 0 {
+		return nil
+	}
+	nodes := []NodeID{g.links[p[0]].From}
+	for _, l := range p {
+		nodes = append(nodes, g.links[l].To)
+	}
+	return nodes
+}
+
+// ValidatePath checks link continuity.
+func (g *Graph) ValidatePath(p Path) error {
+	for i := 1; i < len(p); i++ {
+		if g.links[p[i]].From != g.links[p[i-1]].To {
+			return fmt.Errorf("topology: discontinuous path at hop %d: link %d ends at %d, link %d starts at %d",
+				i, p[i-1], g.links[p[i-1]].To, p[i], g.links[p[i]].From)
+		}
+	}
+	return nil
+}
+
+// ShortestPath returns a minimum-hop path from a to b found by BFS, or nil
+// if b is unreachable. Ties are broken deterministically by link ID.
+func (g *Graph) ShortestPath(a, b NodeID) Path {
+	if a == b {
+		return Path{}
+	}
+	prev := make(map[NodeID]LinkID)
+	visited := map[NodeID]bool{a: true}
+	frontier := []NodeID{a}
+	for len(frontier) > 0 {
+		var next []NodeID
+		for _, n := range frontier {
+			for _, l := range g.out[n] {
+				to := g.links[l].To
+				if visited[to] {
+					continue
+				}
+				visited[to] = true
+				prev[to] = l
+				if to == b {
+					return g.unwind(prev, a, b)
+				}
+				next = append(next, to)
+			}
+		}
+		frontier = next
+	}
+	return nil
+}
+
+func (g *Graph) unwind(prev map[NodeID]LinkID, a, b NodeID) Path {
+	var rev Path
+	for n := b; n != a; {
+		l := prev[n]
+		rev = append(rev, l)
+		n = g.links[l].From
+	}
+	// reverse in place
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// Distance returns the minimum hop count from a to b, or -1 if unreachable.
+func (g *Graph) Distance(a, b NodeID) int {
+	if a == b {
+		return 0
+	}
+	p := g.ShortestPath(a, b)
+	if p == nil {
+		return -1
+	}
+	return len(p)
+}
+
+// SimplePaths enumerates all simple paths (no repeated node) from a to b
+// with at most maxLen links, in deterministic order (shortest first, then
+// lexicographic by link IDs). The enumeration is capped at limit paths;
+// limit <= 0 means no cap. Used by the multipath allocator.
+func (g *Graph) SimplePaths(a, b NodeID, maxLen, limit int) []Path {
+	var out []Path
+	visited := make(map[NodeID]bool)
+	var cur Path
+	var dfs func(n NodeID)
+	dfs = func(n NodeID) {
+		if n == b {
+			p := make(Path, len(cur))
+			copy(p, cur)
+			out = append(out, p)
+			return
+		}
+		if len(cur) >= maxLen {
+			return
+		}
+		visited[n] = true
+		for _, l := range g.out[n] {
+			to := g.links[l].To
+			if visited[to] {
+				continue
+			}
+			cur = append(cur, l)
+			dfs(to)
+			cur = cur[:len(cur)-1]
+		}
+		visited[n] = false
+	}
+	dfs(a)
+	sort.SliceStable(out, func(i, j int) bool {
+		if len(out[i]) != len(out[j]) {
+			return len(out[i]) < len(out[j])
+		}
+		for k := range out[i] {
+			if out[i][k] != out[j][k] {
+				return out[i][k] < out[j][k]
+			}
+		}
+		return false
+	})
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// SpanningTree is a minimal-depth (BFS) spanning tree rooted at Root. The
+// configuration network instantiates one forward (broadcast) and one
+// reverse (converging) link along every tree edge, parallel to the data
+// links the edge follows.
+type SpanningTree struct {
+	Root     NodeID
+	Parent   map[NodeID]NodeID   // parent of every non-root node
+	Children map[NodeID][]NodeID // children in deterministic order
+	Depth    map[NodeID]int      // hop distance from root
+}
+
+// BFSTree computes the minimal-depth spanning tree of all nodes reachable
+// from root, following directed links. Children are ordered by node ID.
+func (g *Graph) BFSTree(root NodeID) *SpanningTree {
+	t := &SpanningTree{
+		Root:     root,
+		Parent:   make(map[NodeID]NodeID),
+		Children: make(map[NodeID][]NodeID),
+		Depth:    map[NodeID]int{root: 0},
+	}
+	frontier := []NodeID{root}
+	for len(frontier) > 0 {
+		var next []NodeID
+		for _, n := range frontier {
+			var kids []NodeID
+			for _, l := range g.out[n] {
+				to := g.links[l].To
+				if _, seen := t.Depth[to]; seen {
+					continue
+				}
+				t.Depth[to] = t.Depth[n] + 1
+				t.Parent[to] = n
+				kids = append(kids, to)
+			}
+			sort.Slice(kids, func(i, j int) bool { return kids[i] < kids[j] })
+			t.Children[n] = kids
+			next = append(next, kids...)
+		}
+		frontier = next
+	}
+	return t
+}
+
+// MaxDepth returns the depth of the deepest node in the tree.
+func (t *SpanningTree) MaxDepth() int {
+	max := 0
+	for _, d := range t.Depth {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Size returns the number of nodes covered by the tree.
+func (t *SpanningTree) Size() int { return len(t.Depth) }
+
+// PathToRoot returns the node sequence from n up to (and including) the
+// root.
+func (t *SpanningTree) PathToRoot(n NodeID) []NodeID {
+	path := []NodeID{n}
+	for n != t.Root {
+		p, ok := t.Parent[n]
+		if !ok {
+			return nil
+		}
+		n = p
+		path = append(path, n)
+	}
+	return path
+}

@@ -1,0 +1,374 @@
+// Package traffic provides workload generators and measurement probes for
+// daelite platforms: constant-bit-rate and bursty sources modelling the
+// paper's motivating traffic classes (high-throughput video streams,
+// latency-sensitive cache-miss traffic), sinks with latency accounting,
+// and aggregate statistics used by the benchmark harness.
+package traffic
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"daelite/internal/ni"
+	"daelite/internal/phit"
+	"daelite/internal/sim"
+)
+
+// Stats aggregates per-word delivery measurements.
+type Stats struct {
+	Count     uint64
+	SumLat    float64
+	MinLat    uint64
+	MaxLat    uint64
+	latencies []uint64
+	capped    bool
+}
+
+// Observe records one delivery latency.
+func (s *Stats) Observe(lat uint64) {
+	if s.Count == 0 || lat < s.MinLat {
+		s.MinLat = lat
+	}
+	if lat > s.MaxLat {
+		s.MaxLat = lat
+	}
+	s.Count++
+	s.SumLat += float64(lat)
+	if len(s.latencies) < 1<<20 {
+		s.latencies = append(s.latencies, lat)
+	} else {
+		s.capped = true
+	}
+}
+
+// Mean returns the mean latency in cycles.
+func (s *Stats) Mean() float64 {
+	if s.Count == 0 {
+		return math.NaN()
+	}
+	return s.SumLat / float64(s.Count)
+}
+
+// Percentile returns the p-th percentile latency (0 < p <= 100) over the
+// recorded samples.
+func (s *Stats) Percentile(p float64) uint64 {
+	if len(s.latencies) == 0 {
+		return 0
+	}
+	sorted := make([]uint64, len(s.latencies))
+	copy(sorted, s.latencies)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// String renders a summary line.
+func (s *Stats) String() string {
+	if s.Count == 0 {
+		return "no deliveries"
+	}
+	return fmt.Sprintf("n=%d lat(min/mean/p99/max)=%d/%.1f/%d/%d cycles",
+		s.Count, s.MinLat, s.Mean(), s.Percentile(99), s.MaxLat)
+}
+
+// Pattern shapes a source's injection process.
+type Pattern int
+
+const (
+	// CBR injects at a constant rate.
+	CBR Pattern = iota
+	// Bursty alternates idle gaps with back-to-back bursts at the same
+	// average rate.
+	Bursty
+)
+
+// Source injects words into one NI channel.
+type Source struct {
+	name    string
+	ni      *ni.NI
+	channel int
+
+	pattern   Pattern
+	rate      float64 // average words per cycle
+	burstLen  int
+	limit     uint64 // 0: unlimited
+	rng       *sim.RNG
+	accum     float64
+	burstLeft int
+	sent      uint64
+	rejected  uint64
+	payload   func(seq uint64) phit.Word
+}
+
+// SourceConfig parameterizes a Source.
+type SourceConfig struct {
+	Pattern  Pattern
+	Rate     float64 // average words/cycle, 0 < Rate <= 1
+	BurstLen int     // words per burst (Bursty); default 8
+	Limit    uint64  // stop after this many words; 0 = unlimited
+	Seed     uint64
+	// Payload generates word contents; nil uses the sequence number.
+	Payload func(seq uint64) phit.Word
+}
+
+// NewSource attaches a source to an NI channel.
+func NewSource(s *sim.Simulator, name string, n *ni.NI, channel int, cfg SourceConfig) *Source {
+	if cfg.BurstLen <= 0 {
+		cfg.BurstLen = 8
+	}
+	if cfg.Payload == nil {
+		cfg.Payload = func(seq uint64) phit.Word { return phit.Word(seq) }
+	}
+	src := &Source{
+		name:     name,
+		ni:       n,
+		channel:  channel,
+		pattern:  cfg.Pattern,
+		rate:     cfg.Rate,
+		burstLen: cfg.BurstLen,
+		limit:    cfg.Limit,
+		rng:      sim.NewRNG(cfg.Seed),
+		payload:  cfg.Payload,
+	}
+	s.Add(src)
+	return src
+}
+
+// Name implements sim.Component.
+func (s *Source) Name() string { return s.name }
+
+// Sent returns the number of words accepted by the NI.
+func (s *Source) Sent() uint64 { return s.sent }
+
+// Rejected returns the number of send attempts refused by a full queue.
+func (s *Source) Rejected() uint64 { return s.rejected }
+
+// Done reports whether a limited source has sent everything.
+func (s *Source) Done() bool { return s.limit > 0 && s.sent >= s.limit }
+
+// Eval implements sim.Component.
+func (s *Source) Eval(cycle uint64) {
+	if s.Done() {
+		return
+	}
+	want := 0
+	switch s.pattern {
+	case CBR:
+		s.accum += s.rate
+		for s.accum >= 1 {
+			s.accum--
+			want++
+		}
+	case Bursty:
+		if s.burstLeft > 0 {
+			want = 1
+			s.burstLeft--
+		} else {
+			// Start a burst with probability rate/burstLen per
+			// cycle so the average rate holds (each burst carries
+			// burstLen words).
+			if s.rng.Float64() < s.rate/float64(s.burstLen) {
+				s.burstLeft = s.burstLen - 1
+				want = 1
+			}
+		}
+	}
+	for i := 0; i < want; i++ {
+		if s.limit > 0 && s.sent >= s.limit {
+			return
+		}
+		if s.ni.Send(s.channel, s.payload(s.sent)) {
+			s.sent++
+		} else {
+			s.rejected++
+			return
+		}
+	}
+}
+
+// Commit implements sim.Component.
+func (s *Source) Commit() {}
+
+// Sink drains one NI channel and records latencies.
+type Sink struct {
+	name    string
+	ni      *ni.NI
+	channel int
+
+	// MaxPerCycle bounds the drain rate (0: unlimited), modelling a
+	// destination IP with finite consumption bandwidth.
+	MaxPerCycle int
+
+	stats    Stats // network traversal latency (injection to delivery)
+	total    Stats // end-to-end latency (IP submission to delivery)
+	received uint64
+	lastSeq  map[int]uint64
+	ooo      uint64 // out-of-order deliveries (per source channel)
+	verify   func(d ni.Delivery) error
+	verr     error
+}
+
+// NewSink attaches a sink to an NI channel.
+func NewSink(s *sim.Simulator, name string, n *ni.NI, channel int) *Sink {
+	k := &Sink{name: name, ni: n, channel: channel, lastSeq: make(map[int]uint64)}
+	s.Add(k)
+	return k
+}
+
+// Name implements sim.Component.
+func (k *Sink) Name() string { return k.name }
+
+// Stats returns the network-traversal latency measurements (injection on
+// the source link to delivery).
+func (k *Sink) Stats() *Stats { return &k.stats }
+
+// TotalStats returns the end-to-end latency measurements (IP submission
+// to delivery), including queueing and scheduling latency at the source.
+func (k *Sink) TotalStats() *Stats { return &k.total }
+
+// Received returns the delivered word count.
+func (k *Sink) Received() uint64 { return k.received }
+
+// OutOfOrder returns the count of sequence regressions per source channel
+// (zero for single-path connections; multipath may reorder).
+func (k *Sink) OutOfOrder() uint64 { return k.ooo }
+
+// SetVerify installs a per-delivery check; the first failure is retained.
+func (k *Sink) SetVerify(f func(d ni.Delivery) error) { k.verify = f }
+
+// VerifyErr returns the first verification failure, if any.
+func (k *Sink) VerifyErr() error { return k.verr }
+
+// Eval implements sim.Component.
+func (k *Sink) Eval(cycle uint64) {
+	n := 0
+	for {
+		if k.MaxPerCycle > 0 && n >= k.MaxPerCycle {
+			return
+		}
+		d, ok := k.ni.Recv(k.channel)
+		if !ok {
+			return
+		}
+		n++
+		k.received++
+		k.stats.Observe(d.Cycle - d.Tag.InjectCycle)
+		k.total.Observe(d.Cycle - d.Tag.SubmitCycle)
+		if last, seen := k.lastSeq[d.Tag.Channel]; seen && d.Tag.Seq < last {
+			k.ooo++
+		}
+		k.lastSeq[d.Tag.Channel] = d.Tag.Seq
+		if k.verify != nil && k.verr == nil {
+			k.verr = k.verify(d)
+		}
+	}
+}
+
+// Commit implements sim.Component.
+func (k *Sink) Commit() {}
+
+// Event is one timed injection for trace playback.
+type Event struct {
+	// Cycle is the earliest cycle the word may be offered to the NI.
+	Cycle uint64
+	// Word is the payload.
+	Word phit.Word
+}
+
+// Replayer injects a recorded event trace into an NI channel: each word is
+// offered at its timestamp (or as soon afterwards as the send queue
+// accepts it), preserving order. Use it to reproduce application traces
+// through the cycle model.
+type Replayer struct {
+	name    string
+	ni      *ni.NI
+	channel int
+	events  []Event
+	next    int
+	sent    uint64
+	late    uint64 // words that could not be offered at their timestamp
+}
+
+// NewReplayer attaches a trace replayer to an NI channel. Events must be
+// sorted by cycle.
+func NewReplayer(s *sim.Simulator, name string, n *ni.NI, channel int, events []Event) *Replayer {
+	r := &Replayer{name: name, ni: n, channel: channel, events: events}
+	s.Add(r)
+	return r
+}
+
+// Name implements sim.Component.
+func (r *Replayer) Name() string { return r.name }
+
+// Done reports whether the whole trace has been injected.
+func (r *Replayer) Done() bool { return r.next >= len(r.events) }
+
+// Sent returns the number of injected words.
+func (r *Replayer) Sent() uint64 { return r.sent }
+
+// Late returns how many words missed their timestamp because the queue
+// was full (they are still sent, later).
+func (r *Replayer) Late() uint64 { return r.late }
+
+// Eval implements sim.Component.
+func (r *Replayer) Eval(cycle uint64) {
+	for r.next < len(r.events) && r.events[r.next].Cycle <= cycle {
+		if !r.ni.Send(r.channel, r.events[r.next].Word) {
+			r.late++
+			return // retry next cycle, order preserved
+		}
+		r.sent++
+		r.next++
+	}
+}
+
+// Commit implements sim.Component.
+func (r *Replayer) Commit() {}
+
+// Recorder captures deliveries on an NI channel as an event trace
+// (timestamped by delivery cycle), so one simulation's output can drive
+// another's input.
+type Recorder struct {
+	name    string
+	ni      *ni.NI
+	channel int
+	events  []Event
+}
+
+// NewRecorder attaches a delivery recorder to an NI channel.
+func NewRecorder(s *sim.Simulator, name string, n *ni.NI, channel int) *Recorder {
+	r := &Recorder{name: name, ni: n, channel: channel}
+	s.Add(r)
+	return r
+}
+
+// Name implements sim.Component.
+func (r *Recorder) Name() string { return r.name }
+
+// Events returns the captured trace.
+func (r *Recorder) Events() []Event {
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Eval implements sim.Component.
+func (r *Recorder) Eval(cycle uint64) {
+	for {
+		d, ok := r.ni.Recv(r.channel)
+		if !ok {
+			return
+		}
+		r.events = append(r.events, Event{Cycle: d.Cycle, Word: d.Word})
+	}
+}
+
+// Commit implements sim.Component.
+func (r *Recorder) Commit() {}

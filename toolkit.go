@@ -1,0 +1,139 @@
+package daelite
+
+// This file re-exports the design-flow and measurement tooling so that
+// code importing only the top-level package reaches the full library:
+// traffic generation, analytical guarantees, dimensioning, declarative
+// platform specs, link monitoring and waveform tracing. The underlying
+// implementations live in internal/ packages (see README for the map).
+
+import (
+	"io"
+
+	"daelite/internal/alloc"
+	"daelite/internal/analysis"
+	"daelite/internal/dimension"
+	"daelite/internal/ni"
+	"daelite/internal/spec"
+	"daelite/internal/stats"
+	"daelite/internal/topology"
+	"daelite/internal/trace"
+	"daelite/internal/traffic"
+)
+
+// --- Traffic generation and measurement ---
+
+// Source injects synthetic traffic into an NI channel.
+type Source = traffic.Source
+
+// SourceConfig parameterizes a Source (pattern, rate, limit, seed).
+type SourceConfig = traffic.SourceConfig
+
+// Sink drains an NI channel and records latency statistics.
+type Sink = traffic.Sink
+
+// Traffic patterns.
+const (
+	// CBR injects at a constant rate.
+	CBR = traffic.CBR
+	// Bursty alternates idle gaps with back-to-back bursts.
+	Bursty = traffic.Bursty
+)
+
+// NewSource attaches a traffic source to a connection's source channel.
+func NewSource(p *Platform, name string, niID NodeID, channel int, cfg SourceConfig) *Source {
+	return traffic.NewSource(p.Sim, name, p.NI(niID), channel, cfg)
+}
+
+// NewSink attaches a measuring sink to a connection's destination channel.
+func NewSink(p *Platform, name string, niID NodeID, channel int) *Sink {
+	return traffic.NewSink(p.Sim, name, p.NI(niID), channel)
+}
+
+// Delivery is one word handed to the IP side, with provenance for latency
+// measurement.
+type Delivery = ni.Delivery
+
+// --- Analytical guarantees ---
+
+// LRServer is the latency-rate abstraction of a connection for
+// system-level real-time analysis.
+type LRServer = analysis.LRServer
+
+// Guarantees summarizes a unicast connection's hard service guarantees.
+type Guarantees struct {
+	// Bandwidth is the guaranteed throughput in words per cycle.
+	Bandwidth float64
+	// WorstCaseLatency bounds the end-to-end latency of any word in
+	// cycles (scheduling wait + serialization + traversal).
+	WorstCaseLatency int
+	// Server is the latency-rate form of the same guarantee.
+	Server LRServer
+}
+
+// GuaranteesOf returns the analytical guarantees of an open unicast
+// connection from its slot reservation (worst path for multipath).
+func GuaranteesOf(p *Platform, c *Connection) Guarantees {
+	worst := 0
+	var bw float64
+	var server LRServer
+	for _, pa := range c.Fwd.Paths {
+		wc := analysis.WorstCaseLatency(pa.InjectSlots, p.Params.SlotWords, len(pa.Path))
+		if wc > worst {
+			worst = wc
+			server = analysis.LRServerFor(pa.InjectSlots, p.Params.SlotWords, len(pa.Path))
+		}
+		bw += analysis.GuaranteedBandwidth(pa.InjectSlots)
+	}
+	server.Rho = bw
+	return Guarantees{Bandwidth: bw, WorstCaseLatency: worst, Server: server}
+}
+
+// --- Dimensioning (requirements -> schedule) ---
+
+// Requirement is one application-level connection demand for the
+// dimensioning flow.
+type Requirement = dimension.Requirement
+
+// DimensionResult is a complete dimensioning outcome.
+type DimensionResult = dimension.Result
+
+// DimensionConfig bounds the dimensioning search.
+type DimensionConfig = dimension.Config
+
+// Dimension finds the smallest TDM wheel and slot schedule satisfying
+// every requirement. Use the resulting wheel in Params and the slot
+// counts in ConnectionSpecs.
+func Dimension(m *Mesh, reqs []Requirement, cfg DimensionConfig) (*DimensionResult, error) {
+	return dimension.Dimension(m.Graph, reqs, cfg)
+}
+
+// Mesh is a built topology with its index helpers (NI/Router lookup).
+type Mesh = topology.Mesh
+
+// AllocOptions tune allocator requests directly (advanced use).
+type AllocOptions = alloc.Options
+
+// --- Declarative platform specs ---
+
+// PlatformSpec is a JSON-serializable platform description.
+type PlatformSpec = spec.Spec
+
+// PlatformInstance is a built spec: platform plus opened connections.
+type PlatformInstance = spec.Instance
+
+// ParseSpec reads and validates a JSON platform description.
+func ParseSpec(r io.Reader) (*PlatformSpec, error) { return spec.Parse(r) }
+
+// --- Observability ---
+
+// LinkMonitor samples per-link utilization.
+type LinkMonitor = stats.Monitor
+
+// NewLinkMonitor attaches a utilization monitor to a platform.
+func NewLinkMonitor(p *Platform) *LinkMonitor { return stats.NewMonitor(p) }
+
+// WaveRecorder records signal waveforms for VCD export.
+type WaveRecorder = trace.Recorder
+
+// NewWaveRecorder attaches a waveform recorder to a platform.
+func NewWaveRecorder(p *Platform) *WaveRecorder { return trace.New(p.Sim) }
