@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet bench experiments examples cover clean
+.PHONY: all build test vet race bench experiments examples cover clean
 
 all: build vet test
 
@@ -12,6 +12,10 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# What CI runs (.github/workflows/ci.yml).
+race:
+	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -27,6 +31,7 @@ examples:
 	$(GO) run ./examples/multipath
 	$(GO) run ./examples/memorymap
 	$(GO) run ./examples/videopipeline
+	$(GO) run ./examples/faultrepair
 
 cover:
 	$(GO) test -cover ./...

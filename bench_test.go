@@ -135,6 +135,17 @@ func BenchmarkUseCaseSwitch(b *testing.B) {
 	reportMetrics(b, map[string]string{"switch_cycles": "cycles"}, experiments.UseCaseSwitch)
 }
 
+// BenchmarkFaultRepair regenerates the chaos experiment (E15): repair
+// latency after a link failure, daelite's tree-configured re-set-up versus
+// aelite's register-written one.
+func BenchmarkFaultRepair(b *testing.B) {
+	reportMetrics(b, map[string]string{
+		"repair_cycles":         "cycles-repair",
+		"aelite_resetup_cycles": "cycles-aelite",
+		"resetup_speedup":       "x-speedup",
+	}, experiments.FaultRepair)
+}
+
 // --- Micro-benchmarks of the core machinery ---
 
 // BenchmarkPlatformCycle measures raw simulation throughput of a loaded

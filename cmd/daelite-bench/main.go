@@ -18,7 +18,7 @@ import (
 func main() {
 	var which, outPath string
 	var listOnly bool
-	flag.StringVar(&which, "experiment", "", "run only the experiment with this ID (E1..E14, A1..A9) or artifact substring")
+	flag.StringVar(&which, "experiment", "", "run only the experiment with this ID (E1..E15, A1..A9) or artifact substring")
 	flag.BoolVar(&listOnly, "list", false, "list experiments without running them")
 	flag.StringVar(&outPath, "o", "", "also write the output to this file")
 	flag.Parse()
@@ -48,6 +48,7 @@ func main() {
 		fmt.Println("E12  critical path / maximum frequency")
 		fmt.Println("E13  use-case switching under traffic")
 		fmt.Println("E14  attained vs reserved bandwidth under saturation")
+		fmt.Println("E15  repair latency under a link failure (chaos)")
 		fmt.Println("A1   ablation: TDM wheel size")
 		fmt.Println("A2   ablation: configuration cool-down")
 		fmt.Println("A3   ablation: host placement / tree depth")

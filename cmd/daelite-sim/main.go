@@ -10,6 +10,11 @@
 // Alternatively, -spec platform.json builds the platform from a
 // declarative JSON description (see internal/spec) and runs CBR traffic
 // at each connection's annotated rate.
+//
+// With -fail-link x1,y1-x2,y2 the named router link dies -fail-at cycles
+// into the run; a health monitor detects the stalled connections and the
+// platform repairs them around the dead link, and the report gains fault
+// and repair counters.
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 	"os"
 
 	"daelite/internal/core"
+	"daelite/internal/fault"
 	"daelite/internal/report"
 	"daelite/internal/spec"
 	"daelite/internal/stats"
@@ -27,13 +33,18 @@ import (
 )
 
 func main() {
-	var meshSpec, vcdPath, specPath string
+	var meshSpec, vcdPath, specPath, failLink string
 	var wheel, cycles int
+	var failAt, faultSeed, stallTimeout uint64
 	flag.StringVar(&meshSpec, "mesh", "4x4", "mesh dimensions WxH")
 	flag.IntVar(&wheel, "wheel", 16, "TDM slot-table size")
 	flag.IntVar(&cycles, "cycles", 50000, "cycles to simulate after set-up")
 	flag.StringVar(&vcdPath, "vcd", "", "write a VCD waveform of every NI link to this file")
 	flag.StringVar(&specPath, "spec", "", "build the platform from this JSON spec instead of flags")
+	flag.StringVar(&failLink, "fail-link", "", "kill the router link x1,y1-x2,y2 mid-run and repair around it")
+	flag.Uint64Var(&failAt, "fail-at", 1000, "cycles after set-up at which -fail-link dies")
+	flag.Uint64Var(&faultSeed, "fault-seed", 1, "seed for the fault injector")
+	flag.Uint64Var(&stallTimeout, "stall-timeout", 256, "health monitor no-progress window (cycles)")
 	flag.Parse()
 
 	var p *core.Platform
@@ -129,7 +140,64 @@ func main() {
 		fatal("no connections given")
 	}
 
-	p.Run(uint64(cycles))
+	// Optional chaos: kill one router link mid-run, detect the stalls and
+	// repair the affected connections around it while the rest keep
+	// running.
+	var inj *fault.Injector
+	var hmon *core.HealthMonitor
+	var repairs []*core.RepairResult
+	if failLink != "" {
+		var x1, y1, x2, y2 int
+		if _, err := fmt.Sscanf(failLink, "%d,%d-%d,%d", &x1, &y1, &x2, &y2); err != nil {
+			fatal("bad -fail-link %q (want x1,y1-x2,y2): %v", failLink, err)
+		}
+		w, h := p.Mesh.Spec.Width, p.Mesh.Spec.Height
+		for _, c := range [][2]int{{x1, y1}, {x2, y2}} {
+			if c[0] < 0 || c[0] >= w || c[1] < 0 || c[1] >= h {
+				fatal("-fail-link router %d,%d outside the %dx%d mesh", c[0], c[1], w, h)
+			}
+		}
+		from, to := p.Mesh.Router(x1, y1), p.Mesh.Router(x2, y2)
+		var dead topology.LinkID = -1
+		for _, l := range p.Mesh.Links() {
+			if l.From == from && l.To == to {
+				dead = l.ID
+			}
+		}
+		if dead < 0 {
+			fatal("no link R%d%d -> R%d%d", x1, y1, x2, y2)
+		}
+		at := p.Cycle() + failAt
+		var err error
+		inj, err = fault.Attach(p, faultSeed, fault.Fault{Kind: fault.LinkDown, Link: dead, From: at})
+		if err != nil {
+			fatal("%v", err)
+		}
+		mon.ObserveFaults(inj)
+		hmon = core.NewHealthMonitor(p, stallTimeout)
+		fmt.Printf("fault scheduled: %s dies at cycle %d\n", failLink, at)
+	}
+
+	if hmon == nil {
+		p.Run(uint64(cycles))
+	} else {
+		end := p.Cycle() + uint64(cycles)
+		for p.Cycle() < end {
+			step := uint64(512)
+			if rest := end - p.Cycle(); rest < step {
+				step = rest
+			}
+			p.Run(step)
+			if len(hmon.Stalled()) == 0 {
+				continue
+			}
+			res, err := p.RepairStalled(hmon, 1_000_000)
+			repairs = append(repairs, res...)
+			if err != nil {
+				fatal("repair: %v", err)
+			}
+		}
+	}
 
 	t := report.NewTable(fmt.Sprintf("daelite-sim — %d cycles", cycles),
 		"Connection", "Setup (cycles)", "Sent", "Delivered", "In flight", "OoO", "Net latency", "End-to-end latency")
@@ -141,6 +209,12 @@ func main() {
 			st.String(), tot.String())
 	}
 	fmt.Println(t.Render())
+	if inj != nil {
+		fmt.Println(stats.FaultReport("Fault activations", inj))
+		if len(repairs) > 0 {
+			fmt.Println(stats.RepairReport(p, repairs))
+		}
+	}
 	fmt.Println(mon.Report("Link utilization"))
 
 	if rec != nil {

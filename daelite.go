@@ -62,6 +62,9 @@ type MeshSpec = topology.MeshSpec
 // NodeID identifies a network element.
 type NodeID = topology.NodeID
 
+// LinkID identifies a directed link between elements.
+type LinkID = topology.LinkID
+
 // Connection lifecycle states.
 const (
 	Opening = core.Opening

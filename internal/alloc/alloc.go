@@ -35,21 +35,55 @@ type Allocator struct {
 	linkOcc map[topology.LinkID]slots.Mask
 	niTX    map[topology.NodeID]slots.Mask
 	niRX    map[topology.NodeID]slots.Mask
+
+	// excluded links carry no new allocations (existing reservations are
+	// untouched): the online-repair flow marks failed links here and
+	// re-allocates affected connections around them.
+	excluded map[topology.LinkID]bool
 }
 
 // New returns an empty allocator over g with the given slot-wheel size.
 func New(g *topology.Graph, wheel int) *Allocator {
 	return &Allocator{
-		g:       g,
-		wheel:   wheel,
-		linkOcc: make(map[topology.LinkID]slots.Mask),
-		niTX:    make(map[topology.NodeID]slots.Mask),
-		niRX:    make(map[topology.NodeID]slots.Mask),
+		g:        g,
+		wheel:    wheel,
+		linkOcc:  make(map[topology.LinkID]slots.Mask),
+		niTX:     make(map[topology.NodeID]slots.Mask),
+		niRX:     make(map[topology.NodeID]slots.Mask),
+		excluded: make(map[topology.LinkID]bool),
 	}
 }
 
 // Wheel returns the slot-wheel size.
 func (a *Allocator) Wheel() int { return a.wheel }
+
+// ExcludeLink bars link l from all future allocations (fault isolation).
+// Slots already reserved on l stay accounted until their connections are
+// released.
+func (a *Allocator) ExcludeLink(l topology.LinkID) { a.excluded[l] = true }
+
+// IncludeLink lifts an exclusion (the link was repaired).
+func (a *Allocator) IncludeLink(l topology.LinkID) { delete(a.excluded, l) }
+
+// ExcludedLinks returns the currently excluded links in ID order.
+func (a *Allocator) ExcludedLinks() []topology.LinkID {
+	out := make([]topology.LinkID, 0, len(a.excluded))
+	for l := range a.excluded {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// usable reports whether a path avoids every excluded link.
+func (a *Allocator) usable(p topology.Path) bool {
+	for _, l := range p {
+		if a.excluded[l] {
+			return false
+		}
+	}
+	return true
+}
 
 func (a *Allocator) occ(m map[topology.LinkID]slots.Mask, k topology.LinkID) slots.Mask {
 	if v, ok := m[k]; ok {
@@ -183,11 +217,20 @@ func (a *Allocator) Unicast(src, dst topology.NodeID, nslots int, opts Options) 
 		return nil, fmt.Errorf("alloc: source and destination NI are the same")
 	}
 	opts = opts.withDefaults()
-	min := a.g.Distance(src, dst)
+	min := a.g.DistanceAvoiding(src, dst, a.excluded)
 	if min < 0 {
-		return nil, fmt.Errorf("alloc: no path from %d to %d", src, dst)
+		return nil, fmt.Errorf("alloc: no path from %d to %d avoiding %d excluded links", src, dst, len(a.excluded))
 	}
 	paths := a.g.SimplePaths(src, dst, min+opts.MaxDetour, 64)
+	if len(a.excluded) > 0 {
+		kept := paths[:0]
+		for _, p := range paths {
+			if a.usable(p) {
+				kept = append(kept, p)
+			}
+		}
+		paths = kept
+	}
 	if len(paths) > opts.MaxPaths {
 		paths = paths[:opts.MaxPaths]
 	}
@@ -368,6 +411,9 @@ func (a *Allocator) Clone() *Allocator {
 	for k, v := range a.niRX {
 		c.niRX[k] = v
 	}
+	for k := range a.excluded {
+		c.excluded[k] = true
+	}
 	return c
 }
 
@@ -459,7 +505,7 @@ func (a *Allocator) Multicast(src topology.NodeID, dsts []topology.NodeID, nslot
 			if a.g.Node(from).Kind == topology.NI && from != src {
 				continue // cannot route through an NI
 			}
-			p := a.g.ShortestPath(from, d)
+			p := a.g.ShortestPathAvoiding(from, d, a.excluded)
 			if p == nil {
 				continue
 			}

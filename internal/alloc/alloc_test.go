@@ -378,3 +378,94 @@ func maxGapSlots(m slots.Mask) int {
 	}
 	return max
 }
+
+func linkBetween(t *testing.T, g *topology.Graph, a, b topology.NodeID) topology.LinkID {
+	t.Helper()
+	for _, l := range g.Out(a) {
+		if g.Link(l).To == b {
+			return l
+		}
+	}
+	t.Fatalf("no link %d -> %d", a, b)
+	return 0
+}
+
+func TestUnicastAvoidsExcludedLink(t *testing.T) {
+	m := mesh(t, 2, 2)
+	a := New(m.Graph, 8)
+	src, dst := m.NI(0, 0, 0), m.NI(1, 0, 0)
+	dead := linkBetween(t, m.Graph, m.Router(0, 0), m.Router(1, 0))
+	a.ExcludeLink(dead)
+	u, err := a.Unicast(src, dst, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pa := range u.Paths {
+		for _, l := range pa.Path {
+			if l == dead {
+				t.Fatalf("allocation uses excluded link %d", dead)
+			}
+		}
+	}
+	// The detour goes around the far row: 2 extra links.
+	if got := len(u.Paths[0].Path); got != 5 {
+		t.Fatalf("detour path length = %d, want 5", got)
+	}
+	if err := Verify(m.Graph, 8, []*Unicast{u}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnicastFailsWhenCut(t *testing.T) {
+	m := mesh(t, 2, 2)
+	a := New(m.Graph, 8)
+	src, dst := m.NI(0, 0, 0), m.NI(1, 0, 0)
+	// Cut both links out of router (1,0)'s column neighbours toward it:
+	// the only entries into R(1,0) besides its NI are from R(0,0) and
+	// R(1,1).
+	a.ExcludeLink(linkBetween(t, m.Graph, m.Router(0, 0), m.Router(1, 0)))
+	a.ExcludeLink(linkBetween(t, m.Graph, m.Router(1, 1), m.Router(1, 0)))
+	if _, err := a.Unicast(src, dst, 1, Options{}); err == nil {
+		t.Fatal("allocation succeeded over a fully cut destination")
+	}
+	// Repair one link and retry.
+	a.IncludeLink(linkBetween(t, m.Graph, m.Router(1, 1), m.Router(1, 0)))
+	if _, err := a.Unicast(src, dst, 1, Options{}); err != nil {
+		t.Fatalf("after IncludeLink: %v", err)
+	}
+}
+
+func TestCloneCopiesExclusions(t *testing.T) {
+	m := mesh(t, 2, 2)
+	a := New(m.Graph, 8)
+	dead := linkBetween(t, m.Graph, m.Router(0, 0), m.Router(1, 0))
+	a.ExcludeLink(dead)
+	c := a.Clone()
+	got := c.ExcludedLinks()
+	if len(got) != 1 || got[0] != dead {
+		t.Fatalf("clone exclusions = %v", got)
+	}
+	// Independence: lifting on the clone leaves the original excluded.
+	c.IncludeLink(dead)
+	if len(a.ExcludedLinks()) != 1 {
+		t.Fatal("IncludeLink on clone leaked into original")
+	}
+}
+
+func TestMulticastAvoidsExcludedLink(t *testing.T) {
+	m := mesh(t, 2, 2)
+	a := New(m.Graph, 8)
+	src := m.NI(0, 0, 0)
+	dsts := []topology.NodeID{m.NI(1, 0, 0), m.NI(1, 1, 0)}
+	dead := linkBetween(t, m.Graph, m.Router(0, 0), m.Router(1, 0))
+	a.ExcludeLink(dead)
+	mc, err := a.Multicast(src, dsts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range mc.Edges {
+		if e.Link == dead {
+			t.Fatalf("multicast tree uses excluded link %d", dead)
+		}
+	}
+}

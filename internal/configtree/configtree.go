@@ -27,6 +27,20 @@ type Params struct {
 	// QueueDepth bounds the number of serialized words buffered in the
 	// module (the host observes back-pressure through Busy).
 	QueueDepth int
+	// ReadTimeout arms the read-transaction watchdog: if no response
+	// arrives within this many cycles after the read packet's last word
+	// left the module, the transaction times out and is retried (up to
+	// ReadRetries times) or aborted. 0 disables the watchdog — the
+	// pre-fault-tolerance behaviour of waiting forever.
+	ReadTimeout uint64
+	// ReadRetries is the number of automatic retransmissions after a
+	// read timeout. Retransmissions go through the normal staging queue,
+	// so the cool-down and one-outstanding-request invariants hold
+	// throughout.
+	ReadRetries int
+	// ReadBackoff multiplies the timeout after each retry (exponential
+	// backoff); values below 2 are treated as 2.
+	ReadBackoff uint64
 }
 
 // DefaultParams returns the parameters used throughout the evaluation: a
@@ -49,7 +63,7 @@ type Module struct {
 	// cool-down can be inserted between packets. Submissions are staged
 	// in pending and folded in at Commit for two-phase safety.
 	queue    []phit.ConfigWord
-	bounds   []int
+	bounds   []packetBound
 	sent     int // words consumed since the last boundary rebase
 	cooldown int // cycles of cool-down remaining
 	pending  []pendingPacket
@@ -58,9 +72,27 @@ type Module struct {
 	readPending  bool
 	readValue    uint8
 	readValid    bool
+	readAborted  bool
 	packetsSent  uint64
 	wordsSent    uint64
 	lastPktCycle uint64
+
+	// read watchdog state: the words of the outstanding read (kept for
+	// retransmission), the cycle at which it times out (0 = not armed),
+	// the current timeout after backoff, and retries remaining.
+	readWords    []phit.ConfigWord
+	readDeadline uint64
+	readTimeout  uint64
+	retriesLeft  int
+
+	readTimeouts uint64
+	readRetries  uint64
+}
+
+// packetBound marks where a packet ends in the staged word stream.
+type packetBound struct {
+	count  int // cumulative words (since last rebase) at packet end
+	isRead bool
 }
 
 // New creates a configuration module.
@@ -119,6 +151,13 @@ func (m *Module) SubmitPacket(words []phit.ConfigWord) error {
 	}
 	cp := make([]phit.ConfigWord, len(words))
 	copy(cp, words)
+	if isRead {
+		m.readAborted = false
+		m.readWords = cp
+		m.readTimeout = m.params.ReadTimeout
+		m.retriesLeft = m.params.ReadRetries
+		m.readDeadline = 0
+	}
 	m.pending = append(m.pending, pendingPacket{words: cp, isRead: isRead})
 	return nil
 }
@@ -147,6 +186,16 @@ func (m *Module) ReadOutstanding() bool { return m.readPending }
 // becomes false.
 func (m *Module) ReadValue() (uint8, bool) { return m.readValue, m.readValid }
 
+// ReadAborted reports whether the most recent read transaction was given
+// up on after exhausting its retries. Cleared by the next read submission.
+func (m *Module) ReadAborted() bool { return m.readAborted }
+
+// ReadFaultStats returns the number of read-transaction timeouts observed
+// and retransmissions issued by the watchdog.
+func (m *Module) ReadFaultStats() (timeouts, retries uint64) {
+	return m.readTimeouts, m.readRetries
+}
+
 // Stats returns packets and words transmitted so far.
 func (m *Module) Stats() (packets, words uint64) { return m.packetsSent, m.wordsSent }
 
@@ -160,8 +209,31 @@ func (m *Module) Eval(cycle uint64) {
 	if m.resp != nil {
 		if r := m.resp.Get(); r.Valid && m.readPending {
 			m.readPending = false
+			m.readDeadline = 0
 			m.readValue = r.Bits
 			m.readValid = true
+		}
+	}
+
+	// Read watchdog: the armed deadline passes with no response, so the
+	// transaction is retried through the normal staging queue (keeping
+	// the cool-down and one-outstanding invariants) or abandoned.
+	if m.readPending && m.readDeadline != 0 && cycle >= m.readDeadline {
+		m.readDeadline = 0
+		m.readTimeouts++
+		if m.retriesLeft > 0 {
+			m.retriesLeft--
+			m.readRetries++
+			backoff := m.params.ReadBackoff
+			if backoff < 2 {
+				backoff = 2
+			}
+			m.readTimeout *= backoff
+			m.pending = append(m.pending, pendingPacket{words: m.readWords, isRead: true})
+		} else {
+			m.readPending = false
+			m.readValid = false
+			m.readAborted = true
 		}
 	}
 
@@ -180,15 +252,18 @@ func (m *Module) Eval(cycle uint64) {
 	m.wordsSent++
 	m.fwd.Set(w)
 	// Crossing a packet boundary starts the cool-down.
-	if len(m.bounds) > 0 && m.sent == m.bounds[0] {
+	if len(m.bounds) > 0 && m.sent == m.bounds[0].count {
 		m.cooldown = m.params.Cooldown
 		m.packetsSent++
 		m.lastPktCycle = cycle + 1 // the word appears on the wire at cycle+1
+		if m.bounds[0].isRead && m.params.ReadTimeout > 0 {
+			m.readDeadline = cycle + 1 + m.readTimeout
+		}
 		// Rebase boundary bookkeeping.
-		consumed := m.bounds[0]
+		consumed := m.bounds[0].count
 		m.bounds = m.bounds[1:]
 		for i := range m.bounds {
-			m.bounds[i] -= consumed
+			m.bounds[i].count -= consumed
 		}
 		m.sent = 0
 	}
@@ -198,7 +273,7 @@ func (m *Module) Eval(cycle uint64) {
 func (m *Module) Commit() {
 	for _, p := range m.pending {
 		m.queue = append(m.queue, p.words...)
-		m.bounds = append(m.bounds, m.sent+len(m.queue))
+		m.bounds = append(m.bounds, packetBound{count: m.sent + len(m.queue), isRead: p.isRead})
 		if p.isRead {
 			m.readPending = true
 			m.readValid = false

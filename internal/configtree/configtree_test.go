@@ -202,3 +202,111 @@ func TestLastPacketCycle(t *testing.T) {
 		t.Fatal("LastPacketCycle not recorded")
 	}
 }
+
+func TestReadTimeoutAbortsAfterRetries(t *testing.T) {
+	s := sim.New()
+	m := New(s, "cfg", Params{Cooldown: 2, QueueDepth: 64, ReadTimeout: 8, ReadRetries: 2, ReadBackoff: 2})
+	resp := sim.NewReg(s, phit.Response{})
+	m.ConnectResponse(resp)
+	rd, _ := cfgproto.ReadRegPacket(3, 0)
+	if err := m.SubmitPacket(rd); err != nil {
+		t.Fatal(err)
+	}
+	// No element ever answers: the watchdog must retry twice (timeouts at
+	// 8, then 16 cycles of backoff) and then abort.
+	s.RunUntil(func() bool { return !m.ReadOutstanding() }, 200)
+	if m.ReadOutstanding() {
+		t.Fatal("read still outstanding after budget")
+	}
+	if !m.ReadAborted() {
+		t.Fatal("read not marked aborted")
+	}
+	if _, valid := m.ReadValue(); valid {
+		t.Fatal("aborted read left a valid value")
+	}
+	timeouts, retries := m.ReadFaultStats()
+	if timeouts != 3 || retries != 2 {
+		t.Fatalf("fault stats: %d timeouts %d retries, want 3 and 2", timeouts, retries)
+	}
+	// The module is usable again: a fresh read clears the aborted flag.
+	if err := m.SubmitPacket(rd); err != nil {
+		t.Fatal(err)
+	}
+	if m.ReadAborted() {
+		t.Fatal("aborted flag not cleared by new read")
+	}
+}
+
+func TestCooldownEnforcedAcrossRetransmission(t *testing.T) {
+	s := sim.New()
+	// The timeout fires while the post-packet cool-down is still running:
+	// the retransmission must nevertheless wait the cool-down out.
+	const cooldown = 10
+	m := New(s, "cfg", Params{Cooldown: cooldown, QueueDepth: 64, ReadTimeout: 2, ReadRetries: 1, ReadBackoff: 2})
+	resp := sim.NewReg(s, phit.Response{})
+	m.ConnectResponse(resp)
+	var activity []bool
+	s.AddProbe(func(uint64) {
+		activity = append(activity, m.ForwardWire().Get().Valid)
+	})
+	rd, _ := cfgproto.ReadRegPacket(3, 0)
+	if err := m.SubmitPacket(rd); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(60)
+	var bursts [][2]int
+	in := false
+	start := 0
+	for i, v := range activity {
+		if v && !in {
+			in, start = true, i
+		}
+		if !v && in {
+			in = false
+			bursts = append(bursts, [2]int{start, i})
+		}
+	}
+	if len(bursts) != 2 {
+		t.Fatalf("bursts = %v, want original + one retransmission", bursts)
+	}
+	if gap := bursts[1][0] - bursts[0][1]; gap < cooldown {
+		t.Fatalf("retransmission after %d idle cycles, cool-down is %d", gap, cooldown)
+	}
+}
+
+func TestOneOutstandingUnderSymbolLoss(t *testing.T) {
+	s := sim.New()
+	m := New(s, "cfg", Params{Cooldown: 2, QueueDepth: 64, ReadTimeout: 6, ReadRetries: 3, ReadBackoff: 2})
+	resp := sim.NewReg(s, phit.Response{})
+	m.ConnectResponse(resp)
+	// Model total config-symbol loss downstream: the forward wire's words
+	// never reach any element, so no response comes back while the
+	// watchdog retries. Throughout the whole episode a second read must
+	// be refused.
+	rd, _ := cfgproto.ReadRegPacket(5, 1)
+	if err := m.SubmitPacket(rd); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		s.Step()
+		if m.ReadOutstanding() {
+			if err := m.SubmitPacket(rd); err == nil {
+				t.Fatalf("cycle %d: second read accepted while one outstanding", i)
+			}
+		}
+	}
+	// Let an element finally answer the latest retransmission.
+	s.RunUntil(func() bool { return m.ReadOutstanding() && !m.Busy() }, 100)
+	resp.Set(phit.Response{Valid: true, Bits: 0x19})
+	s.Run(3)
+	if m.ReadOutstanding() || m.ReadAborted() {
+		t.Fatalf("outstanding=%v aborted=%v after late answer", m.ReadOutstanding(), m.ReadAborted())
+	}
+	if v, valid := m.ReadValue(); !valid || v != 0x19 {
+		t.Fatalf("read value = %#x %v", v, valid)
+	}
+	// And a new read is accepted again.
+	if err := m.SubmitPacket(rd); err != nil {
+		t.Fatal(err)
+	}
+}

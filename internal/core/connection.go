@@ -105,12 +105,12 @@ func (p *Platform) Open(spec ConnectionSpec) (*Connection, error) {
 		return nil, fmt.Errorf("core: SlotsFwd must be positive")
 	}
 	if spec.multicast() {
-		return p.openMulticast(spec)
+		return p.openMulticast(spec, -1, nil)
 	}
-	return p.openUnicast(spec)
+	return p.openUnicast(spec, -1, -1)
 }
 
-func (p *Platform) openUnicast(spec ConnectionSpec) (*Connection, error) {
+func (p *Platform) openUnicast(spec ConnectionSpec, prefSrcCh, prefDstCh int) (*Connection, error) {
 	if spec.SlotsRev <= 0 {
 		spec.SlotsRev = 1
 	}
@@ -124,13 +124,13 @@ func (p *Platform) openUnicast(spec ConnectionSpec) (*Connection, error) {
 		p.Alloc.ReleaseUnicast(fwd)
 		return nil, fmt.Errorf("core: reverse allocation: %w", err)
 	}
-	srcCh, err := p.allocChannel(spec.Src)
+	srcCh, err := p.allocChannelPref(spec.Src, prefSrcCh)
 	if err != nil {
 		p.Alloc.ReleaseUnicast(fwd)
 		p.Alloc.ReleaseUnicast(rev)
 		return nil, err
 	}
-	dstCh, err := p.allocChannel(spec.Dst)
+	dstCh, err := p.allocChannelPref(spec.Dst, prefDstCh)
 	if err != nil {
 		p.freeChannel(spec.Src, srcCh)
 		p.Alloc.ReleaseUnicast(fwd)
@@ -189,19 +189,25 @@ func (p *Platform) openUnicast(spec ConnectionSpec) (*Connection, error) {
 	return c, nil
 }
 
-func (p *Platform) openMulticast(spec ConnectionSpec) (*Connection, error) {
+func (p *Platform) openMulticast(spec ConnectionSpec, prefSrcCh int, prefDstChs map[topology.NodeID]int) (*Connection, error) {
 	tree, err := p.Alloc.Multicast(spec.Src, spec.Dsts, spec.SlotsFwd)
 	if err != nil {
 		return nil, fmt.Errorf("core: multicast allocation: %w", err)
 	}
-	srcCh, err := p.allocChannel(spec.Src)
+	srcCh, err := p.allocChannelPref(spec.Src, prefSrcCh)
 	if err != nil {
 		p.Alloc.ReleaseMulticast(tree)
 		return nil, err
 	}
 	dstChs := make(map[topology.NodeID]int, len(spec.Dsts))
 	for _, d := range spec.Dsts {
-		ch, err := p.allocChannel(d)
+		pref := -1
+		if prefDstChs != nil {
+			if want, ok := prefDstChs[d]; ok {
+				pref = want
+			}
+		}
+		ch, err := p.allocChannelPref(d, pref)
 		if err != nil {
 			for dd, cc := range dstChs {
 				p.freeChannel(dd, cc)

@@ -48,6 +48,13 @@ type Params struct {
 	RecvQueueDepth int
 	// Cooldown is the configuration module's post-packet quiet period.
 	Cooldown int
+	// ReadTimeout, ReadRetries and ReadBackoff arm the configuration
+	// module's read-transaction watchdog (see configtree.Params); a zero
+	// ReadTimeout leaves reads waiting forever, the pre-fault-tolerance
+	// behaviour.
+	ReadTimeout uint64
+	ReadRetries int
+	ReadBackoff uint64
 }
 
 // DefaultParams mirror the paper's running example: 8 slots of 2 words,
@@ -178,8 +185,11 @@ func NewPlatform(m *topology.Mesh, params Params, hostNI topology.NodeID) (*Plat
 	}
 	p.Tree = m.BFSTree(root)
 	p.Host = configtree.New(s, "cfg-module", configtree.Params{
-		Cooldown:   params.Cooldown,
-		QueueDepth: 4096,
+		Cooldown:    params.Cooldown,
+		QueueDepth:  4096,
+		ReadTimeout: params.ReadTimeout,
+		ReadRetries: params.ReadRetries,
+		ReadBackoff: params.ReadBackoff,
 	})
 	rootRouter := p.Routers[root]
 	rootRouter.ConnectConfigIn(p.Host.ForwardWire())
@@ -310,10 +320,21 @@ func (p *Platform) CompleteConfig(budget uint64) (uint64, error) {
 
 // allocChannel reserves a free local channel index on an NI.
 func (p *Platform) allocChannel(n topology.NodeID) (int, error) {
+	return p.allocChannelPref(n, -1)
+}
+
+// allocChannelPref reserves pref if it is a free channel index, else the
+// lowest free one. Repair uses the preference so a re-opened connection
+// keeps the channel indices its traffic endpoints are bound to.
+func (p *Platform) allocChannelPref(n topology.NodeID, pref int) (int, error) {
 	used := p.channelsUsed[n]
 	if used == nil {
 		used = make(map[int]bool)
 		p.channelsUsed[n] = used
+	}
+	if pref >= 0 && pref < p.Params.NumChannels && !used[pref] {
+		used[pref] = true
+		return pref, nil
 	}
 	for ch := 0; ch < p.Params.NumChannels; ch++ {
 		if !used[ch] {

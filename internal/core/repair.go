@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+
+	"daelite/internal/topology"
+)
+
+// RepairResult documents one connection repair: the timeline (detection,
+// submission of the tear-down/re-set-up packets, configuration settled) and
+// the exclusions in force. RepairCycles — the span from submission to
+// settled — is the metric the paper's fast set-up claim translates to under
+// faults: repair latency is dominated by two set-up transactions through
+// the configuration tree.
+type RepairResult struct {
+	// OldID and NewID are the connection IDs before and after repair
+	// (the Connection object is replaced; its endpoints and channel
+	// indices are preserved).
+	OldID, NewID int
+	// Conn is the repaired (re-opened) connection.
+	Conn *Connection
+	// DetectCycle is when the health monitor declared the stall (zero if
+	// the repair was operator-initiated without a monitor).
+	DetectCycle uint64
+	// SubmitCycle is when tear-down began; DoneCycle is when the new
+	// configuration had fully settled.
+	SubmitCycle uint64
+	DoneCycle   uint64
+	// Excluded lists the links barred from the re-allocation.
+	Excluded []topology.LinkID
+}
+
+// RepairCycles is the repair latency: tear-down submission to settled
+// re-configuration.
+func (r *RepairResult) RepairCycles() uint64 {
+	if r.DoneCycle < r.SubmitCycle {
+		return 0
+	}
+	return r.DoneCycle - r.SubmitCycle
+}
+
+// DetectToDoneCycles is the full outage-handling span from stall detection.
+func (r *RepairResult) DetectToDoneCycles() uint64 {
+	if r.DetectCycle == 0 || r.DoneCycle < r.DetectCycle {
+		return r.RepairCycles()
+	}
+	return r.DoneCycle - r.DetectCycle
+}
+
+// ExcludeLinks marks links as failed for all future allocations; repairs
+// route around them. Existing reservations are not touched — tear them
+// down via Repair.
+func (p *Platform) ExcludeLinks(links ...topology.LinkID) {
+	for _, l := range links {
+		p.Alloc.ExcludeLink(l)
+	}
+}
+
+// Repair tears a connection down and re-opens it with the same spec and
+// the same NI channel indices, routed around the allocator's excluded
+// links, then runs the platform until the new configuration settles.
+// Traffic endpoints bound to (NI, channel) keep working across the repair:
+// words still queued at the source are delivered over the new path, only
+// words in flight on a failed link are lost. Unrelated connections are
+// never touched — their slots keep rotating while the repair packets flow
+// through the separate configuration tree (the paper's E13 property, under
+// faults).
+func (p *Platform) Repair(c *Connection, budget uint64) (*RepairResult, error) {
+	if c.State == Closed {
+		return nil, fmt.Errorf("core: connection %d already closed", c.ID)
+	}
+	res := &RepairResult{
+		OldID:       c.ID,
+		SubmitCycle: p.Sim.Cycle(),
+		Excluded:    p.Alloc.ExcludedLinks(),
+	}
+	spec := c.Spec
+	prefSrc := c.SrcChannel
+	prefDst := c.DstChannel
+	prefDsts := c.DstChannels
+	if err := p.Close(c); err != nil {
+		return nil, fmt.Errorf("core: repair tear-down: %w", err)
+	}
+	var nc *Connection
+	var err error
+	if spec.multicast() {
+		nc, err = p.openMulticast(spec, prefSrc, prefDsts)
+	} else {
+		nc, err = p.openUnicast(spec, prefSrc, prefDst)
+	}
+	if err != nil {
+		return res, fmt.Errorf("core: repair re-allocation: %w", err)
+	}
+	if err := p.AwaitOpen(nc, budget); err != nil {
+		return res, fmt.Errorf("core: repair configuration: %w", err)
+	}
+	res.Conn = nc
+	res.NewID = nc.ID
+	res.DoneCycle = p.Sim.Cycle()
+	return res, nil
+}
+
+// RepairStalled runs the full detect-diagnose-repair loop once: it takes
+// the monitor's stalled connections, excludes the suspect links, and
+// repairs each stalled connection in ID order. It returns one result per
+// repaired connection; on the first failing repair it returns what
+// succeeded so far along with the error.
+func (p *Platform) RepairStalled(h *HealthMonitor, budget uint64) ([]*RepairResult, error) {
+	stalled := h.Stalled()
+	if len(stalled) == 0 {
+		return nil, nil
+	}
+	p.ExcludeLinks(h.SuspectLinks()...)
+	var out []*RepairResult
+	for _, c := range stalled {
+		detect := h.DetectCycle(c.ID)
+		res, err := p.Repair(c, budget)
+		if res != nil {
+			res.DetectCycle = detect
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

@@ -86,6 +86,7 @@ func All() ([]*Result, error) {
 		CriticalPath,
 		UseCaseSwitch,
 		AttainedBandwidth,
+		FaultRepair,
 		AblationWheelSize,
 		AblationCooldown,
 		AblationTreeDepth,

@@ -295,6 +295,33 @@ func TestAttainedBandwidth(t *testing.T) {
 	}
 }
 
+func TestFaultRepair(t *testing.T) {
+	r, err := FaultRepair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Repair is two set-up transactions through the tree: far cheaper
+	// than re-establishing the connection with register writes.
+	if got := r.Metrics["resetup_speedup"]; got < 2 {
+		t.Fatalf("repair speedup = %.1fx, want > 2x", got)
+	}
+	if r.Metrics["repair_cycles"] <= 0 {
+		t.Fatal("repair not timed")
+	}
+	// The unaffected stream must lose nothing; the victim stays in order
+	// across the repair (losses are gaps, never reorderings).
+	if r.Metrics["bystander_loss"] != 0 || r.Metrics["bystander_ooo"] != 0 {
+		t.Fatalf("bystander loss %v ooo %v", r.Metrics["bystander_loss"], r.Metrics["bystander_ooo"])
+	}
+	if r.Metrics["victim_ooo"] != 0 {
+		t.Fatalf("victim out-of-order = %v", r.Metrics["victim_ooo"])
+	}
+	// The chaos run replays bit-identically from its seed.
+	if r.Metrics["deterministic"] != 1 {
+		t.Fatal("replay diverged")
+	}
+}
+
 func TestAblationLongLinks(t *testing.T) {
 	r, err := AblationLongLinks()
 	if err != nil {
@@ -395,7 +422,7 @@ func TestAllSmoke(t *testing.T) {
 		}
 		seen[r.ID] = true
 	}
-	for _, id := range []string{"E1", "E3", "E9", "E14", "A7", "A9"} {
+	for _, id := range []string{"E1", "E3", "E9", "E14", "E15", "A7", "A9"} {
 		if !seen[id] {
 			t.Fatalf("experiment %s missing from All()", id)
 		}

@@ -95,6 +95,14 @@ type channel struct {
 	rxCreditAccum uint8 // bits collected so far this slot
 
 	seq uint64 // next sequence number for injected words
+
+	// rxWords counts every word that entered the receive queue over the
+	// channel's lifetime — the monotonic progress signal health
+	// monitoring compares against the remote send queue's occupancy.
+	rxWords uint64
+	// txWords counts every word injected on the channel, the matching
+	// source-side progress signal.
+	txWords uint64
 }
 
 type queuedWord struct {
@@ -270,6 +278,14 @@ func (n *NI) SendQueueLen(ch int) int {
 // Credit returns the source-side credit counter of channel ch.
 func (n *NI) Credit(ch int) int { return n.channels[ch].credit }
 
+// RxWords returns the lifetime count of words received into channel ch's
+// queue (delivered to the IP or still waiting). Health monitors use it as
+// the destination-side progress signal.
+func (n *NI) RxWords(ch int) uint64 { return n.channels[ch].rxWords }
+
+// TxWords returns the lifetime count of words injected on channel ch.
+func (n *NI) TxWords(ch int) uint64 { return n.channels[ch].txWords }
+
 // Flags returns the state flags of channel ch.
 func (n *NI) Flags(ch int) uint8 { return n.channels[ch].flags }
 
@@ -339,6 +355,7 @@ func (n *NI) Eval(cycle uint64) {
 				out.Tag = qw.tag
 				out.Tag.InjectCycle = c1
 				n.injected++
+				ch.txWords++
 			}
 		}
 	}
@@ -363,6 +380,7 @@ func (n *NI) Eval(cycle uint64) {
 					d:  Delivery{Word: in.Data, Tag: in.Tag, Cycle: c1},
 				})
 				n.delivered++
+				ch.rxWords++
 			} else {
 				n.dropped++
 			}

@@ -220,6 +220,42 @@ func TestRNGPermIsPermutation(t *testing.T) {
 	}
 }
 
+// TestRNGShuffleDeterministic pins the determinism contract the chaos
+// layer depends on: identically seeded RNGs shuffle identically, and the
+// result is a permutation.
+func TestRNGShuffleDeterministic(t *testing.T) {
+	shuffle := func(seed uint64) []int {
+		r := NewRNG(seed)
+		s := make([]int, 32)
+		for i := range s {
+			s[i] = i
+		}
+		r.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] })
+		return s
+	}
+	a, b := shuffle(99), shuffle(99)
+	seen := make(map[int]bool, len(a))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+		if a[i] < 0 || a[i] >= len(a) || seen[a[i]] {
+			t.Fatalf("not a permutation: %v", a)
+		}
+		seen[a[i]] = true
+	}
+	c := shuffle(100)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced the same shuffle")
+	}
+}
+
 func TestRNGFloat64Range(t *testing.T) {
 	r := NewRNG(13)
 	for i := 0; i < 10000; i++ {

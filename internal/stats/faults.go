@@ -1,0 +1,76 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+
+	"daelite/internal/core"
+	"daelite/internal/fault"
+	"daelite/internal/report"
+	"daelite/internal/topology"
+)
+
+// FaultSource attributes injected errors to links; *fault.Injector
+// implements it.
+type FaultSource interface {
+	ErrorsByLink() map[topology.LinkID]fault.LinkErrors
+	Counters() fault.Counters
+}
+
+// ObserveFaults attaches an error source to the monitor: subsequent link
+// reports carry per-link Killed/Corrupted columns next to utilization.
+func (m *Monitor) ObserveFaults(src FaultSource) { m.faults = src }
+
+// FaultReport renders the aggregate activation counters of an injector.
+func FaultReport(title string, src FaultSource) string {
+	c := src.Counters()
+	t := report.NewTable(title, "Fault activations", "Count")
+	t.AddRow("flits killed (dead links)", c.FlitsKilled)
+	t.AddRow("payload bits flipped", c.PayloadFlips)
+	t.AddRow("config symbols dropped", c.ConfigDrops)
+	t.AddRow("config symbols corrupted", c.ConfigFlips)
+	t.AddRow("slot-table upsets", c.TableFlips)
+	t.AddRow("total", c.Total())
+	return t.Render()
+}
+
+// RepairReport renders the outcome of a repair run: one row per repaired
+// connection with its detection, repair latency and the exclusions that
+// were in force.
+func RepairReport(p *core.Platform, results []*core.RepairResult) string {
+	t := report.NewTable("Connection repairs",
+		"Connection", "Detected", "Repair started", "Repair done", "Repair (cycles)", "Detect-to-done", "Links excluded")
+	for _, r := range results {
+		name := fmt.Sprintf("%d -> %d", r.OldID, r.NewID)
+		if r.Conn != nil {
+			name = fmt.Sprintf("%s -> %s (id %d -> %d)",
+				p.Mesh.Node(r.Conn.Spec.Src).Name, destName(p, r.Conn), r.OldID, r.NewID)
+		}
+		t.AddRow(name, r.DetectCycle, r.SubmitCycle, r.DoneCycle,
+			r.RepairCycles(), r.DetectToDoneCycles(), linkNames(p, r.Excluded))
+	}
+	return t.Render()
+}
+
+func destName(p *core.Platform, c *core.Connection) string {
+	if c.Tree == nil {
+		return p.Mesh.Node(c.Spec.Dst).Name
+	}
+	var names []string
+	for _, d := range c.Spec.Dsts {
+		names = append(names, p.Mesh.Node(d).Name)
+	}
+	return "{" + strings.Join(names, ",") + "}"
+}
+
+func linkNames(p *core.Platform, links []topology.LinkID) string {
+	if len(links) == 0 {
+		return "-"
+	}
+	var names []string
+	for _, id := range links {
+		l := p.Mesh.Link(id)
+		names = append(names, fmt.Sprintf("%s->%s", p.Mesh.Node(l.From).Name, p.Mesh.Node(l.To).Name))
+	}
+	return strings.Join(names, " ")
+}

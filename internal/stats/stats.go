@@ -38,6 +38,7 @@ func (l *LinkSample) Utilization() float64 {
 type Monitor struct {
 	samples map[topology.LinkID]*LinkSample
 	wires   []monWire
+	faults  FaultSource
 }
 
 type monWire struct {
@@ -106,14 +107,28 @@ func (m *Monitor) TotalPayloadCycles() uint64 {
 	return total
 }
 
-// Report renders the non-idle links as a table.
+// Report renders the non-idle links as a table. With a fault source
+// attached (ObserveFaults) every row also carries the link's error
+// counters, so a soak run shows at a glance which links took damage.
 func (m *Monitor) Report(title string) string {
-	t := report.NewTable(title, "Link", "Payload cycles", "Credit-only cycles", "Utilization")
+	if m.faults == nil {
+		t := report.NewTable(title, "Link", "Payload cycles", "Credit-only cycles", "Utilization")
+		for _, s := range m.Busiest(0) {
+			if s.Valid == 0 && s.CreditOnly == 0 {
+				continue
+			}
+			t.AddRow(s.Name, s.Valid, s.CreditOnly, report.Percent(s.Utilization()))
+		}
+		return t.Render()
+	}
+	errs := m.faults.ErrorsByLink()
+	t := report.NewTable(title, "Link", "Payload cycles", "Credit-only cycles", "Utilization", "Killed", "Corrupted")
 	for _, s := range m.Busiest(0) {
-		if s.Valid == 0 && s.CreditOnly == 0 {
+		e := errs[s.Link.ID]
+		if s.Valid == 0 && s.CreditOnly == 0 && e.Killed == 0 && e.Flipped == 0 {
 			continue
 		}
-		t.AddRow(s.Name, s.Valid, s.CreditOnly, report.Percent(s.Utilization()))
+		t.AddRow(s.Name, s.Valid, s.CreditOnly, report.Percent(s.Utilization()), e.Killed, e.Flipped)
 	}
 	return t.Render()
 }

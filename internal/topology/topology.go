@@ -313,6 +313,58 @@ func (g *Graph) Distance(a, b NodeID) int {
 	return len(p)
 }
 
+// ShortestPathAvoiding returns a minimum-hop path from a to b that uses no
+// link in avoid, or nil if none exists. It is the routing query behind
+// online repair: after a link failure the allocator re-routes around the
+// excluded links. Ties are broken deterministically by link ID, like
+// ShortestPath.
+func (g *Graph) ShortestPathAvoiding(a, b NodeID, avoid map[LinkID]bool) Path {
+	if len(avoid) == 0 {
+		return g.ShortestPath(a, b)
+	}
+	if a == b {
+		return Path{}
+	}
+	prev := make(map[NodeID]LinkID)
+	visited := map[NodeID]bool{a: true}
+	frontier := []NodeID{a}
+	for len(frontier) > 0 {
+		var next []NodeID
+		for _, n := range frontier {
+			for _, l := range g.out[n] {
+				if avoid[l] {
+					continue
+				}
+				to := g.links[l].To
+				if visited[to] {
+					continue
+				}
+				visited[to] = true
+				prev[to] = l
+				if to == b {
+					return g.unwind(prev, a, b)
+				}
+				next = append(next, to)
+			}
+		}
+		frontier = next
+	}
+	return nil
+}
+
+// DistanceAvoiding returns the minimum hop count from a to b over paths
+// that use no link in avoid, or -1 if b is unreachable without them.
+func (g *Graph) DistanceAvoiding(a, b NodeID, avoid map[LinkID]bool) int {
+	if a == b {
+		return 0
+	}
+	p := g.ShortestPathAvoiding(a, b, avoid)
+	if p == nil {
+		return -1
+	}
+	return len(p)
+}
+
 // SimplePaths enumerates all simple paths (no repeated node) from a to b
 // with at most maxLen links, in deterministic order (shortest first, then
 // lexicographic by link IDs). The enumeration is capped at limit paths;

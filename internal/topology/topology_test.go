@@ -352,3 +352,46 @@ func TestPipelineAccessors(t *testing.T) {
 		t.Fatal("negative stages not clamped")
 	}
 }
+
+func TestShortestPathAvoiding(t *testing.T) {
+	m := mustMesh(t, 3, 3, 1)
+	g := m.Graph
+	src, dst := m.Router(0, 0), m.Router(2, 0)
+	direct := g.ShortestPath(src, dst)
+	if len(direct) != 2 {
+		t.Fatalf("direct path length = %d, want 2", len(direct))
+	}
+	// Avoiding the first hop forces a detour of equal or +2 length that
+	// skips it.
+	avoid := map[LinkID]bool{direct[0]: true}
+	p := g.ShortestPathAvoiding(src, dst, avoid)
+	if p == nil {
+		t.Fatal("no avoiding path found")
+	}
+	for _, l := range p {
+		if avoid[l] {
+			t.Fatalf("path uses avoided link %d", l)
+		}
+	}
+	if err := g.ValidatePath(p); err != nil {
+		t.Fatal(err)
+	}
+	if d := g.DistanceAvoiding(src, dst, avoid); d != len(p) {
+		t.Fatalf("DistanceAvoiding = %d, path len = %d", d, len(p))
+	}
+	// Empty avoid set falls back to plain shortest path.
+	if got := g.ShortestPathAvoiding(src, dst, nil); len(got) != len(direct) {
+		t.Fatalf("nil-avoid length = %d, want %d", len(got), len(direct))
+	}
+	// Cutting every outgoing link isolates the node.
+	all := make(map[LinkID]bool)
+	for _, l := range g.Out(src) {
+		all[l] = true
+	}
+	if p := g.ShortestPathAvoiding(src, dst, all); p != nil {
+		t.Fatalf("path found out of isolated node: %v", p)
+	}
+	if d := g.DistanceAvoiding(src, dst, all); d != -1 {
+		t.Fatalf("DistanceAvoiding from isolated node = %d, want -1", d)
+	}
+}

@@ -11,7 +11,9 @@ import (
 
 	"daelite/internal/alloc"
 	"daelite/internal/analysis"
+	"daelite/internal/core"
 	"daelite/internal/dimension"
+	"daelite/internal/fault"
 	"daelite/internal/ni"
 	"daelite/internal/spec"
 	"daelite/internal/stats"
@@ -137,3 +139,43 @@ type WaveRecorder = trace.Recorder
 
 // NewWaveRecorder attaches a waveform recorder to a platform.
 func NewWaveRecorder(p *Platform) *WaveRecorder { return trace.New(p.Sim) }
+
+// --- Fault injection and online repair ---
+
+// Fault is one scheduled hardware fault (see internal/fault for the
+// models and the determinism contract).
+type Fault = fault.Fault
+
+// FaultInjector drives a seeded fault schedule into a platform.
+type FaultInjector = fault.Injector
+
+// Fault models.
+const (
+	// LinkDown kills a data link for the fault window (permanent failure).
+	LinkDown = fault.LinkDown
+	// PayloadFlip corrupts payload bits crossing a link (soft errors).
+	PayloadFlip = fault.PayloadFlip
+	// ConfigDrop deletes configuration symbols at the tree root.
+	ConfigDrop = fault.ConfigDrop
+	// ConfigFlip corrupts configuration symbols at the tree root.
+	ConfigFlip = fault.ConfigFlip
+	// SlotTableFlip upsets one router slot-table entry.
+	SlotTableFlip = fault.SlotTableFlip
+)
+
+// InjectFaults attaches a deterministic fault injector to a platform.
+func InjectFaults(p *Platform, seed uint64, faults ...Fault) (*FaultInjector, error) {
+	return fault.Attach(p, seed, faults...)
+}
+
+// HealthMonitor detects stalled connections end to end.
+type HealthMonitor = core.HealthMonitor
+
+// NewHealthMonitor attaches a stall detector to a platform; 0 selects the
+// default no-progress window.
+func NewHealthMonitor(p *Platform, stallTimeout uint64) *HealthMonitor {
+	return core.NewHealthMonitor(p, stallTimeout)
+}
+
+// RepairResult documents one connection repair and its latency.
+type RepairResult = core.RepairResult
