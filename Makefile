@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench experiments examples cover clean
+.PHONY: all build test vet fmt race bench benchdiff bench-baseline experiments golden examples cover clean
 
 all: build vet test
 
@@ -10,6 +10,9 @@ build:
 vet:
 	$(GO) vet ./...
 
+fmt:
+	gofmt -l .
+
 test:
 	$(GO) test ./...
 
@@ -17,12 +20,30 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Run every Go benchmark once (liveness), then write a machine-readable
+# BENCH_new.json snapshot and gate it against the committed baseline —
+# the same sequence as the CI bench job.
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -bench . -benchtime=1x -run '^$$' ./...
+	$(GO) run ./cmd/daelite-bench -json -o BENCH_new.json
+
+benchdiff: bench
+	$(GO) run ./cmd/daelite-benchdiff BENCH_baseline.json BENCH_new.json
+
+# Re-measure and commit a new perf baseline (do this when a deliberate
+# perf change moves the gated benchmarks).
+bench-baseline:
+	$(GO) run ./cmd/daelite-bench -json -o BENCH_baseline.json
 
 # Regenerate every table/figure of the paper's evaluation.
 experiments:
 	$(GO) run ./cmd/daelite-bench
+
+# Check the regenerated tables against the committed golden output —
+# the same diff as the CI golden job.
+golden:
+	$(GO) run ./cmd/daelite-bench > /tmp/daelite_experiments.txt
+	diff -u experiments_output.txt /tmp/daelite_experiments.txt
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -176,6 +176,30 @@ func BenchmarkPlatformCycle(b *testing.B) {
 	}
 }
 
+// benchBigMesh measures raw kernel throughput (one simulated cycle per
+// op) on the 16x16 datapath-only torus — 256 routers plus row taps, the
+// size the parallel kernel targets (a full configured platform is capped
+// at 127 elements by the 7-bit config ID space).
+func benchBigMesh(b *testing.B, workers int) {
+	bm, err := experiments.BuildBigMesh(16, 16, 8, workers)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer bm.Sim.Shutdown()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bm.Run(1)
+	}
+}
+
+// BenchmarkBigMesh16x16 runs the big mesh on the sequential kernel.
+func BenchmarkBigMesh16x16(b *testing.B) { benchBigMesh(b, 1) }
+
+// BenchmarkBigMesh16x16Par runs the big mesh with one worker per CPU;
+// comparing against BenchmarkBigMesh16x16 gives the parallel speedup on
+// this machine (the ISSUE's >=2x target; see also experiment E16).
+func BenchmarkBigMesh16x16Par(b *testing.B) { benchBigMesh(b, 0) }
+
 // BenchmarkConnectionOpenClose measures the host-side cost of a full
 // connection lifecycle including simulation until settled.
 func BenchmarkConnectionOpenClose(b *testing.B) {

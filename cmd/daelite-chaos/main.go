@@ -24,10 +24,11 @@ import (
 
 func main() {
 	var meshSpec string
-	var wheel, conns, kill, cycles int
+	var wheel, conns, kill, cycles, workers int
 	var seed, timeout uint64
 	flag.StringVar(&meshSpec, "mesh", "4x4", "mesh dimensions WxH")
 	flag.IntVar(&wheel, "wheel", 16, "TDM slot-table size")
+	flag.IntVar(&workers, "workers", 0, "simulation kernel workers (0 = one per CPU, 1 = sequential; the run replays bit-identically for every value)")
 	flag.IntVar(&conns, "conns", 6, "connections to open")
 	flag.IntVar(&kill, "kill", 1, "router-to-router links to kill during the run")
 	flag.IntVar(&cycles, "cycles", 40000, "cycles to soak after set-up")
@@ -41,6 +42,7 @@ func main() {
 	}
 	params := core.DefaultParams()
 	params.Wheel = wheel
+	params.Workers = workers
 	p, err := core.NewMeshPlatform(topology.MeshSpec{Width: w, Height: h, NIsPerRouter: 1}, params, 0, 0)
 	if err != nil {
 		fatal("%v", err)

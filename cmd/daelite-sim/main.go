@@ -34,11 +34,12 @@ import (
 
 func main() {
 	var meshSpec, vcdPath, specPath, failLink string
-	var wheel, cycles int
+	var wheel, cycles, workers int
 	var failAt, faultSeed, stallTimeout uint64
 	flag.StringVar(&meshSpec, "mesh", "4x4", "mesh dimensions WxH")
 	flag.IntVar(&wheel, "wheel", 16, "TDM slot-table size")
 	flag.IntVar(&cycles, "cycles", 50000, "cycles to simulate after set-up")
+	flag.IntVar(&workers, "workers", 0, "simulation kernel workers (0 = one per CPU, 1 = sequential; results are identical)")
 	flag.StringVar(&vcdPath, "vcd", "", "write a VCD waveform of every NI link to this file")
 	flag.StringVar(&specPath, "spec", "", "build the platform from this JSON spec instead of flags")
 	flag.StringVar(&failLink, "fail-link", "", "kill the router link x1,y1-x2,y2 mid-run and repair around it")
@@ -60,6 +61,9 @@ func main() {
 		f.Close()
 		if err != nil {
 			fatal("%v", err)
+		}
+		if workers != 0 {
+			sp.Params.Workers = workers
 		}
 		inst, err := sp.Build()
 		if err != nil {
@@ -89,6 +93,7 @@ func main() {
 		}
 		params := core.DefaultParams()
 		params.Wheel = wheel
+		params.Workers = workers
 		var err error
 		p, err = core.NewMeshPlatform(topology.MeshSpec{Width: w, Height: h, NIsPerRouter: 1}, params, 0, 0)
 		if err != nil {

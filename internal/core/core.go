@@ -55,6 +55,12 @@ type Params struct {
 	ReadTimeout uint64
 	ReadRetries int
 	ReadBackoff uint64
+	// Workers is the simulation kernel's parallelism (sim.Options): 0
+	// uses one worker per available CPU, 1 forces the sequential
+	// kernel, larger values are used as given. Small platforms fall
+	// back to the sequential path automatically, and the simulated
+	// behaviour is bit-identical for every value.
+	Workers int
 }
 
 // DefaultParams mirror the paper's running example: 8 slots of 2 words,
@@ -72,6 +78,9 @@ func DefaultParams() Params {
 
 // Validate checks parameter sanity.
 func (p Params) Validate() error {
+	if p.Workers < 0 {
+		return fmt.Errorf("core: workers %d out of range (0 = auto)", p.Workers)
+	}
 	rp := router.Params{Wheel: p.Wheel, SlotWords: p.SlotWords}
 	if err := rp.Validate(); err != nil {
 		return err
@@ -126,7 +135,7 @@ func NewPlatform(m *topology.Mesh, params Params, hostNI topology.NodeID) (*Plat
 	if m.NumNodes() > 127 {
 		return nil, fmt.Errorf("core: %d network elements exceed the 7-bit configuration ID space (127 usable)", m.NumNodes())
 	}
-	s := sim.New()
+	s := sim.NewWithOptions(sim.Options{Workers: params.Workers})
 	p := &Platform{
 		Sim:          s,
 		Mesh:         m,

@@ -1,0 +1,43 @@
+package experiments
+
+import "testing"
+
+// TestBigMeshDeterministicAcrossWorkers pins E16's core claim: the
+// datapath-only big mesh produces bit-identical fingerprints on the
+// sequential kernel and the parallel kernel, and it actually carries
+// traffic.
+func TestBigMeshDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) (uint64, uint64) {
+		bm, err := BuildBigMesh(8, 8, 8, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bm.Run(500)
+		return bm.Fingerprint(), bm.Flits()
+	}
+	seqFP, seqFlits := run(1)
+	if seqFlits == 0 {
+		t.Fatal("big mesh carried no traffic")
+	}
+	for _, w := range []int{0, 3} {
+		fp, flits := run(w)
+		if fp != seqFP || flits != seqFlits {
+			t.Fatalf("workers=%d diverged: fp %x/%x flits %d/%d", w, fp, seqFP, flits, seqFlits)
+		}
+	}
+}
+
+// TestScalingThroughputRuns exercises the full E16 sweep, including its
+// built-in determinism cross-check.
+func TestScalingThroughputRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full scaling sweep in -short mode")
+	}
+	r, err := ScalingThroughput()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ID != "E16" || len(r.Metrics) == 0 {
+		t.Fatalf("unexpected result: %+v", r)
+	}
+}

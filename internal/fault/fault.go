@@ -3,15 +3,16 @@
 // corrupted configuration symbols, slot-table upsets — into a running
 // platform without modifying any hardware model.
 //
-// The injector exploits the sim kernel's two-phase semantics: it is added
-// to the simulator *after* the platform is fully wired, so its Eval runs
-// last each cycle and its Reg.Set overrides the pending value the owning
-// element just drove. Peek exposes that pending value, which is what makes
-// corrupt-in-place faults (bit flips) possible. Because component order is
-// fixed and all randomness comes from a seeded sim.RNG, a fault schedule is
-// fully determined by (seed, cycle-window, target): the same run replays
-// bit-identically, which is the property every chaos experiment in this
-// repository asserts.
+// The injector exploits the sim kernel's two-phase semantics: it registers
+// through AddOrdered, so its Eval runs after every platform element each
+// cycle — even when the platform evaluates on the parallel kernel — and
+// its Reg.Set overrides the pending value the owning element just drove.
+// Peek exposes that pending value, which is what makes corrupt-in-place
+// faults (bit flips) possible. Because the ordered tail runs sequentially
+// in registration order and all randomness comes from a seeded sim.RNG, a
+// fault schedule is fully determined by (seed, cycle-window, target): the
+// same run replays bit-identically, with any worker count, which is the
+// property every chaos experiment in this repository asserts.
 package fault
 
 import (
@@ -133,8 +134,9 @@ type LinkErrors struct {
 }
 
 // Injector drives a fault schedule into a platform. It is a sim.Component
-// that must be attached after the platform is built (Attach enforces the
-// ordering by registering itself at call time).
+// that must be attached after the platform is built; Attach registers it
+// in the simulator's ordered tail (sim.AddOrdered), which guarantees it
+// evaluates after every platform element regardless of worker count.
 type Injector struct {
 	name   string
 	p      *core.Platform
@@ -183,7 +185,7 @@ func Attach(p *core.Platform, seed uint64, faults ...Fault) (*Injector, error) {
 			return nil, fmt.Errorf("fault %d: unknown kind %d", i, int(f.Kind))
 		}
 	}
-	p.Sim.Add(inj)
+	p.Sim.AddOrdered(inj)
 	return inj, nil
 }
 

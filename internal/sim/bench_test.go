@@ -1,12 +1,16 @@
 package sim
 
-import "testing"
+import (
+	"runtime"
+	"testing"
+)
 
 // BenchmarkKernelStep measures raw kernel throughput: N relay components
 // shifting values through registers, the workload shape of a platform
-// simulation.
-func benchKernel(b *testing.B, n int) {
-	s := New()
+// simulation. The Par variants run the same model on the parallel kernel
+// with one worker per CPU.
+func benchKernel(b *testing.B, workers, n int) {
+	s := NewWithOptions(Options{Workers: workers})
 	regs := make([]*Reg[int], n+1)
 	for i := range regs {
 		regs[i] = NewReg(s, 0)
@@ -20,8 +24,11 @@ func benchKernel(b *testing.B, n int) {
 	}
 }
 
-func BenchmarkKernelStep16(b *testing.B)  { benchKernel(b, 16) }
-func BenchmarkKernelStep256(b *testing.B) { benchKernel(b, 256) }
+func BenchmarkKernelStep16(b *testing.B)      { benchKernel(b, 1, 16) }
+func BenchmarkKernelStep256(b *testing.B)     { benchKernel(b, 1, 256) }
+func BenchmarkKernelStep4096(b *testing.B)    { benchKernel(b, 1, 4096) }
+func BenchmarkKernelStep256Par(b *testing.B)  { benchKernel(b, runtime.GOMAXPROCS(0), 256) }
+func BenchmarkKernelStep4096Par(b *testing.B) { benchKernel(b, runtime.GOMAXPROCS(0), 4096) }
 
 // BenchmarkRegSetGet isolates the register primitive.
 func BenchmarkRegSetGet(b *testing.B) {

@@ -1,0 +1,137 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Options configures a Simulator's execution strategy.
+type Options struct {
+	// Workers is the target parallelism of the Eval, Commit and
+	// register-commit phases: 0 selects one worker per available CPU
+	// (runtime.GOMAXPROCS), 1 forces the purely sequential kernel, and
+	// any larger value is used as given. Regardless of Workers, a phase
+	// falls back to the sequential path automatically when the platform
+	// is too small for the per-phase barrier to pay for itself.
+	Workers int
+}
+
+// Per-phase sizing. A phase only runs on the pool when it has at least
+// this many items; below the threshold the barrier (two channel
+// operations per worker plus a WaitGroup wait) costs more than the
+// work it would spread. Register commits are branch-predictable
+// two-word copies, so they need far more items than component Evals,
+// which walk slot tables and queues.
+const (
+	minParallelComponents = 64
+	minParallelRegs       = 4096
+	componentChunk        = 16
+	regChunk              = 1024
+)
+
+// workerPool is a set of persistent goroutines that execute one phase
+// closure at a time. run is a barrier: it returns only after every
+// worker (and the calling goroutine, which participates as worker 0)
+// has finished the closure, which is what gives the kernel its
+// Eval -> Commit -> register-commit phase ordering.
+type workerPool struct {
+	procs int // pool goroutines, excluding the caller
+	work  chan func()
+	wg    sync.WaitGroup
+	once  sync.Once
+}
+
+func newWorkerPool(procs int) *workerPool {
+	p := &workerPool{procs: procs, work: make(chan func(), procs)}
+	for i := 0; i < procs; i++ {
+		go func() {
+			for f := range p.work {
+				f()
+				p.wg.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// run executes f concurrently on every pool goroutine and the caller,
+// returning when all of them have finished.
+func (p *workerPool) run(f func()) {
+	p.wg.Add(p.procs)
+	for i := 0; i < p.procs; i++ {
+		p.work <- f
+	}
+	f()
+	p.wg.Wait()
+}
+
+// shutdown terminates the pool goroutines. Idempotent.
+func (p *workerPool) shutdown() {
+	p.once.Do(func() { close(p.work) })
+}
+
+// resolveWorkers maps an Options.Workers value to an effective count.
+func resolveWorkers(w int) int {
+	if w == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if w < 1 {
+		return 1
+	}
+	return w
+}
+
+// parallel reports whether a phase over n items should use the pool.
+func (s *Simulator) parallel(n, min int) bool {
+	return s.workers > 1 && n >= min
+}
+
+// ensurePool lazily starts the worker pool the first time a phase goes
+// parallel. The pool goroutines reference only the pool itself, so a
+// Simulator that becomes unreachable is still collectable: the cleanup
+// closes the work channel and the goroutines exit.
+func (s *Simulator) ensurePool() *workerPool {
+	if s.pool == nil {
+		s.pool = newWorkerPool(s.workers - 1)
+		runtime.AddCleanup(s, func(p *workerPool) { p.shutdown() }, s.pool)
+	}
+	return s.pool
+}
+
+// runSharded executes fn over [0, n) on the worker pool. Workers grab
+// fixed-size chunks from a shared cursor until the range is exhausted,
+// which keeps them balanced even when item costs vary (a router's Eval
+// walks a slot table; a pipeline stage copies one register).
+func (s *Simulator) runSharded(n, chunk int, fn func(start, end int)) {
+	var cursor atomic.Int64
+	s.ensurePool().run(func() {
+		for {
+			end := int(cursor.Add(int64(chunk)))
+			start := end - chunk
+			if start >= n {
+				return
+			}
+			if end > n {
+				end = n
+			}
+			fn(start, end)
+		}
+	})
+}
+
+// Workers returns the simulator's effective worker count (1 means the
+// sequential kernel).
+func (s *Simulator) Workers() int { return s.workers }
+
+// Shutdown releases the worker pool, if one was started, and pins the
+// simulator to the sequential path. Further Steps remain valid. It is
+// safe to call Shutdown more than once; it is not required — an
+// unreachable Simulator's pool is reclaimed automatically.
+func (s *Simulator) Shutdown() {
+	if s.pool != nil {
+		s.pool.shutdown()
+		s.pool = nil
+	}
+	s.workers = 1
+}

@@ -1,0 +1,201 @@
+package sim
+
+import (
+	"runtime"
+	"testing"
+)
+
+// buildChain wires n relays shifting a driven value through n+1 registers
+// and returns the simulator plus the register at tap (observation point).
+// With n >= 64 the component phases take the parallel path, and with
+// n >= 4096 the register commit does too.
+func buildChain(workers, n, tap int) (*Simulator, *Reg[int]) {
+	s := NewWithOptions(Options{Workers: workers})
+	regs := make([]*Reg[int], n+1)
+	for i := range regs {
+		regs[i] = NewReg(s, 0)
+	}
+	for i := 0; i < n; i++ {
+		s.Add(&relay{label: "relay", src: regs[i], dst: regs[i+1]})
+	}
+	s.Add(&Func{Label: "drive", OnEval: func(cy uint64) { regs[0].Set(int(cy) + 1) }})
+	return s, regs[tap]
+}
+
+// TestParallelMatchesSequential proves the tentpole claim at kernel level:
+// sharding Eval/Commit/register-commit across workers yields a stream of
+// observed values bit-identical to the sequential kernel, for a model big
+// enough to exercise both parallel phases.
+func TestParallelMatchesSequential(t *testing.T) {
+	const n = 5000 // > minParallelRegs registers, > minParallelComponents components
+	const cycles = 300
+	run := func(workers int) []int {
+		s, tap := buildChain(workers, n, 128)
+		var out []int
+		for i := 0; i < cycles; i++ {
+			s.Step()
+			out = append(out, tap.Get())
+		}
+		return out
+	}
+	seq := run(1)
+	for _, w := range []int{0, 2, 4, runtime.GOMAXPROCS(0)} {
+		par := run(w)
+		for i := range seq {
+			if par[i] != seq[i] {
+				t.Fatalf("workers=%d diverged at cycle %d: %d != %d", w, i, par[i], seq[i])
+			}
+		}
+	}
+}
+
+// TestWorkersIdenticalCycleCounts pins that Workers 0, 1 and NumCPU all
+// halt at the same cycle for the same model and stop condition.
+func TestWorkersIdenticalCycleCounts(t *testing.T) {
+	counts := make(map[int]uint64)
+	for _, w := range []int{0, 1, runtime.NumCPU()} {
+		s, tail := buildChain(w, 200, 200)
+		cycle, ok := s.RunUntil(func() bool { return tail.Get() >= 40 }, 10_000)
+		if !ok {
+			t.Fatalf("workers=%d: condition never held", w)
+		}
+		counts[w] = cycle
+	}
+	want := counts[1]
+	for w, got := range counts {
+		if got != want {
+			t.Fatalf("workers=%d halted at cycle %d, sequential at %d", w, got, want)
+		}
+	}
+}
+
+// TestStopFromProbeMidRun covers the probe -> Stop path: probes run
+// sequentially after commit, and a Stop they issue must halt Run after
+// the current cycle with the cycle counter intact.
+func TestStopFromProbeMidRun(t *testing.T) {
+	for _, w := range []int{1, 4} {
+		s, _ := buildChain(w, 100, 0)
+		s.AddProbe(func(cy uint64) {
+			if cy == 7 {
+				s.Stop("probe says enough")
+			}
+		})
+		ran := s.Run(1000)
+		if ran != 7 {
+			t.Fatalf("workers=%d: Run executed %d cycles, want 7", w, ran)
+		}
+		if s.Cycle() != 7 {
+			t.Fatalf("workers=%d: Cycle() = %d, want 7", w, s.Cycle())
+		}
+		stopped, reason := s.Stopped()
+		if !stopped || reason != "probe says enough" {
+			t.Fatalf("workers=%d: Stopped() = %v %q", w, stopped, reason)
+		}
+	}
+}
+
+// TestStopFromParallelEval covers concurrent Stop calls from evaluating
+// components: the run halts and one of the issued reasons is retained.
+func TestStopFromParallelEval(t *testing.T) {
+	s := NewWithOptions(Options{Workers: 4})
+	for i := 0; i < 128; i++ {
+		s.Add(&Func{Label: "stopper", OnEval: func(cy uint64) {
+			if cy == 3 {
+				s.Stop("component stop")
+			}
+		}})
+	}
+	ran := s.Run(100)
+	if ran != 4 {
+		t.Fatalf("Run executed %d cycles, want 4 (stop requested during cycle 3)", ran)
+	}
+	stopped, reason := s.Stopped()
+	if !stopped || reason != "component stop" {
+		t.Fatalf("Stopped() = %v %q", stopped, reason)
+	}
+}
+
+// idle is a component that never Sets any register.
+type idle struct{ evals int }
+
+func (c *idle) Name() string { return "idle" }
+func (c *idle) Eval(uint64)  { c.evals++ }
+func (c *idle) Commit()      {}
+
+// TestComponentNeverSets covers the never-Set edge case: registers owned
+// by a silent component keep their initial value through parallel and
+// sequential commits alike, and its Eval still runs every cycle.
+func TestComponentNeverSets(t *testing.T) {
+	for _, w := range []int{1, 4} {
+		s := NewWithOptions(Options{Workers: w})
+		quiet := NewReg(s, 42)
+		silent := &idle{}
+		s.Add(silent)
+		// Enough active components and registers to trip the parallel
+		// phases alongside the silent one.
+		regs := make([]*Reg[int], 5001)
+		for i := range regs {
+			regs[i] = NewReg(s, 0)
+		}
+		for i := 0; i < 5000; i++ {
+			s.Add(&relay{label: "relay", src: regs[i], dst: regs[i+1]})
+		}
+		s.Run(25)
+		if got := quiet.Get(); got != 42 {
+			t.Fatalf("workers=%d: untouched register changed to %d", w, got)
+		}
+		if silent.evals != 25 {
+			t.Fatalf("workers=%d: silent component evaluated %d times, want 25", w, silent.evals)
+		}
+	}
+}
+
+// TestOrderedTailSemantics pins the AddOrdered contract the fault injector
+// and traffic endpoints rely on: ordered components run after the whole
+// parallel set each phase, observe pending values via Peek, and may
+// override them — with any worker count.
+func TestOrderedTailSemantics(t *testing.T) {
+	for _, w := range []int{1, 8} {
+		s := NewWithOptions(Options{Workers: w})
+		wires := make([]*Reg[int], 100)
+		for i := range wires {
+			i := i
+			wires[i] = NewReg(s, 0)
+			s.Add(&Func{Label: "drv", OnEval: func(cy uint64) { wires[i].Set(int(cy) + 100) }})
+		}
+		var sawPending bool
+		s.AddOrdered(&Func{Label: "override", OnEval: func(cy uint64) {
+			if wires[0].Peek() == int(cy)+100 {
+				sawPending = true
+			}
+			wires[0].Set(-1)
+		}})
+		s.Step()
+		if !sawPending {
+			t.Fatalf("workers=%d: ordered component did not observe the pending value", w)
+		}
+		if got := wires[0].Get(); got != -1 {
+			t.Fatalf("workers=%d: override lost, wire committed %d", w, got)
+		}
+		if got := wires[1].Get(); got != 100 {
+			t.Fatalf("workers=%d: untouched wire committed %d, want 100", w, got)
+		}
+	}
+}
+
+// TestShutdownFallsBackSequential verifies Shutdown releases the pool and
+// the simulator keeps stepping correctly on the sequential path.
+func TestShutdownFallsBackSequential(t *testing.T) {
+	s, tail := buildChain(4, 200, 10)
+	s.Run(50)
+	mid := tail.Get()
+	s.Shutdown()
+	if s.Workers() != 1 {
+		t.Fatalf("Workers() after Shutdown = %d", s.Workers())
+	}
+	s.Run(50)
+	if tail.Get() <= mid {
+		t.Fatal("simulation did not progress after Shutdown")
+	}
+	s.Shutdown() // idempotent
+}

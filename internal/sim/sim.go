@@ -7,11 +7,23 @@
 // once (the Commit phase), exactly like flip-flops latching on a clock edge.
 // Because Eval never observes a value written in the same cycle, the result
 // is independent of component evaluation order and therefore deterministic.
+//
+// That order-independence is also what makes the Eval phase embarrassingly
+// parallel: NewWithOptions shards components and registers across a
+// persistent worker pool, with a barrier between the Eval, Commit and
+// register-commit phases of every Step, and the result stays bit-identical
+// to the sequential kernel. Components that deliberately break the
+// order-independence contract — traffic endpoints that drain NI queues,
+// fault injectors that override pending wire values — register through
+// AddOrdered instead of Add and run sequentially, in registration order,
+// after the parallel set in both phases. Probes and Stop handling always
+// stay sequential on the stepping goroutine.
 package sim
 
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Component is a piece of synchronous hardware. Eval computes next state
@@ -79,22 +91,48 @@ type Probe func(cycle uint64)
 // Simulator owns the clock, the component list, and all registers.
 type Simulator struct {
 	components []Component
+	ordered    []Component
 	regs       []committer
 	probes     []Probe
 	cycle      uint64
+
+	workers int
+	pool    *workerPool
+
+	stopMu     sync.Mutex
 	stopped    bool
 	stopReason string
 }
 
-// New returns an empty simulator at cycle 0.
+// New returns an empty sequential simulator at cycle 0. Use
+// NewWithOptions to enable the parallel kernel.
 func New() *Simulator {
-	return &Simulator{}
+	return NewWithOptions(Options{Workers: 1})
 }
 
-// Add registers a component with the simulator. Components are evaluated in
-// the order added; correctness must not depend on that order.
+// NewWithOptions returns an empty simulator at cycle 0 with the given
+// execution options. See Options.Workers for the parallelism knob.
+func NewWithOptions(o Options) *Simulator {
+	return &Simulator{workers: resolveWorkers(o.Workers)}
+}
+
+// Add registers a component with the simulator. Components added this way
+// may be evaluated concurrently: their Eval must only read foreign state
+// through Reg.Get and write through Regs (or plain state) they own, so
+// that the result is independent of evaluation order.
 func (s *Simulator) Add(c Component) {
 	s.components = append(s.components, c)
+}
+
+// AddOrdered registers a component that depends on evaluation order:
+// its Eval reads or writes state owned by other components (a traffic
+// endpoint draining an NI queue, a fault injector overriding pending
+// wire values via Peek/Set). Ordered components run sequentially on the
+// stepping goroutine, in registration order, after all Add'ed
+// components have finished each phase — the same position a component
+// added last held under the sequential kernel.
+func (s *Simulator) AddOrdered(c Component) {
+	s.ordered = append(s.ordered, c)
 }
 
 func (s *Simulator) addReg(r committer) {
@@ -110,24 +148,77 @@ func (s *Simulator) AddProbe(p Probe) {
 func (s *Simulator) Cycle() uint64 { return s.cycle }
 
 // Stop requests that the simulation halt after the current cycle completes.
+// It is safe to call from concurrently evaluating components; the first
+// caller's reason is retained.
 func (s *Simulator) Stop(reason string) {
-	s.stopped = true
-	s.stopReason = reason
+	s.stopMu.Lock()
+	defer s.stopMu.Unlock()
+	if !s.stopped {
+		s.stopped = true
+		s.stopReason = reason
+	}
 }
 
 // Stopped reports whether Stop has been called, and why.
-func (s *Simulator) Stopped() (bool, string) { return s.stopped, s.stopReason }
+func (s *Simulator) Stopped() (bool, string) {
+	s.stopMu.Lock()
+	defer s.stopMu.Unlock()
+	return s.stopped, s.stopReason
+}
 
-// Step advances the simulation by exactly one clock cycle.
+func (s *Simulator) halted() bool {
+	s.stopMu.Lock()
+	defer s.stopMu.Unlock()
+	return s.stopped
+}
+
+// Step advances the simulation by exactly one clock cycle: Eval of every
+// component (parallel set, then ordered tail), Commit likewise, then the
+// register commit, then the probes. Each phase finishes completely — a
+// barrier on the worker pool when the phase ran parallel — before the
+// next begins.
 func (s *Simulator) Step() {
-	for _, c := range s.components {
-		c.Eval(s.cycle)
+	cycle := s.cycle
+	if s.parallel(len(s.components), minParallelComponents) {
+		s.runSharded(len(s.components), componentChunk, func(start, end int) {
+			for _, c := range s.components[start:end] {
+				c.Eval(cycle)
+			}
+		})
+	} else {
+		for _, c := range s.components {
+			c.Eval(cycle)
+		}
 	}
-	for _, c := range s.components {
+	for _, c := range s.ordered {
+		c.Eval(cycle)
+	}
+
+	if s.parallel(len(s.components), minParallelComponents) {
+		s.runSharded(len(s.components), componentChunk, func(start, end int) {
+			for _, c := range s.components[start:end] {
+				c.Commit()
+			}
+		})
+	} else {
+		for _, c := range s.components {
+			c.Commit()
+		}
+	}
+	for _, c := range s.ordered {
 		c.Commit()
 	}
-	for _, r := range s.regs {
-		r.commit()
+
+	if s.parallel(len(s.regs), minParallelRegs) {
+		s.runSharded(len(s.regs), regChunk, func(start, end int) {
+			for _, r := range s.regs[start:end] {
+				r.commit()
+			}
+		})
+	} else {
+		for _, r := range s.regs {
+			r.commit()
+		}
 	}
 	s.cycle++
 	for _, p := range s.probes {
@@ -139,7 +230,7 @@ func (s *Simulator) Step() {
 // whichever comes first, and returns the number of cycles executed.
 func (s *Simulator) Run(n uint64) uint64 {
 	var done uint64
-	for done = 0; done < n && !s.stopped; done++ {
+	for done = 0; done < n && !s.halted(); done++ {
 		s.Step()
 	}
 	return done
@@ -150,7 +241,7 @@ func (s *Simulator) Run(n uint64) uint64 {
 // condition first held and true, or the current cycle and false on timeout.
 func (s *Simulator) RunUntil(cond func() bool, budget uint64) (uint64, bool) {
 	for i := uint64(0); i < budget; i++ {
-		if s.stopped {
+		if s.halted() {
 			return s.cycle, false
 		}
 		s.Step()
@@ -161,11 +252,14 @@ func (s *Simulator) RunUntil(cond func() bool, budget uint64) (uint64, bool) {
 	return s.cycle, cond()
 }
 
-// ComponentNames returns the sorted names of all registered components,
-// useful for debugging platform assembly.
+// ComponentNames returns the sorted names of all registered components
+// (parallel set and ordered tail), useful for debugging platform assembly.
 func (s *Simulator) ComponentNames() []string {
-	names := make([]string, 0, len(s.components))
+	names := make([]string, 0, len(s.components)+len(s.ordered))
 	for _, c := range s.components {
+		names = append(names, c.Name())
+	}
+	for _, c := range s.ordered {
 		names = append(names, c.Name())
 	}
 	sort.Strings(names)
@@ -199,5 +293,6 @@ func (f *Func) Commit() {
 
 // String renders a short simulator status line.
 func (s *Simulator) String() string {
-	return fmt.Sprintf("sim{cycle=%d components=%d regs=%d}", s.cycle, len(s.components), len(s.regs))
+	return fmt.Sprintf("sim{cycle=%d components=%d+%d regs=%d workers=%d}",
+		s.cycle, len(s.components), len(s.ordered), len(s.regs), s.workers)
 }

@@ -137,7 +137,7 @@ func NewSource(s *sim.Simulator, name string, n *ni.NI, channel int, cfg SourceC
 		rng:      sim.NewRNG(cfg.Seed),
 		payload:  cfg.Payload,
 	}
-	s.Add(src)
+	s.AddOrdered(src)
 	return src
 }
 
@@ -218,7 +218,7 @@ type Sink struct {
 // NewSink attaches a sink to an NI channel.
 func NewSink(s *sim.Simulator, name string, n *ni.NI, channel int) *Sink {
 	k := &Sink{name: name, ni: n, channel: channel, lastSeq: make(map[int]uint64)}
-	s.Add(k)
+	s.AddOrdered(k)
 	return k
 }
 
@@ -300,7 +300,7 @@ type Replayer struct {
 // sorted by cycle.
 func NewReplayer(s *sim.Simulator, name string, n *ni.NI, channel int, events []Event) *Replayer {
 	r := &Replayer{name: name, ni: n, channel: channel, events: events}
-	s.Add(r)
+	s.AddOrdered(r)
 	return r
 }
 
@@ -345,7 +345,7 @@ type Recorder struct {
 // NewRecorder attaches a delivery recorder to an NI channel.
 func NewRecorder(s *sim.Simulator, name string, n *ni.NI, channel int) *Recorder {
 	r := &Recorder{name: name, ni: n, channel: channel}
-	s.Add(r)
+	s.AddOrdered(r)
 	return r
 }
 
