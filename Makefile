@@ -53,6 +53,7 @@ examples:
 	$(GO) run ./examples/memorymap
 	$(GO) run ./examples/videopipeline
 	$(GO) run ./examples/faultrepair
+	$(GO) run ./examples/telemetry
 
 cover:
 	$(GO) test -cover ./...

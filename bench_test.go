@@ -13,6 +13,7 @@ import (
 	"daelite/internal/core"
 	"daelite/internal/experiments"
 	"daelite/internal/phit"
+	"daelite/internal/telemetry"
 	"daelite/internal/topology"
 )
 
@@ -148,12 +149,16 @@ func BenchmarkFaultRepair(b *testing.B) {
 
 // --- Micro-benchmarks of the core machinery ---
 
-// BenchmarkPlatformCycle measures raw simulation throughput of a loaded
-// 4x4 platform (cycles per second of wall clock drive the harness cost).
-func BenchmarkPlatformCycle(b *testing.B) {
+// benchPlatformCycle measures raw simulation throughput of a loaded 4x4
+// platform (cycles per second of wall clock drive the harness cost),
+// optionally with a telemetry registry attached and harvesting.
+func benchPlatformCycle(b *testing.B, withTelemetry bool) {
 	p, err := core.NewMeshPlatform(topology.MeshSpec{Width: 4, Height: 4, NIsPerRouter: 1}, core.DefaultParams(), 0, 0)
 	if err != nil {
 		b.Fatal(err)
+	}
+	if withTelemetry {
+		p.AttachTelemetry(telemetry.NewRegistry(), 0)
 	}
 	c, err := p.Open(core.ConnectionSpec{Src: p.Mesh.NI(0, 1, 0), Dst: p.Mesh.NI(3, 3, 0), SlotsFwd: 2})
 	if err != nil {
@@ -175,6 +180,16 @@ func BenchmarkPlatformCycle(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkPlatformCycle is the baseline simulation throughput, telemetry
+// detached — the cost every run pays.
+func BenchmarkPlatformCycle(b *testing.B) { benchPlatformCycle(b, false) }
+
+// BenchmarkPlatformCycleTelemetry is the same platform with a telemetry
+// registry attached at the default harvest interval; the gap to
+// BenchmarkPlatformCycle is the observability overhead the cost contract
+// bounds (<= 5%, gated by daelite-benchdiff).
+func BenchmarkPlatformCycleTelemetry(b *testing.B) { benchPlatformCycle(b, true) }
 
 // benchBigMesh measures raw kernel throughput (one simulated cycle per
 // op) on the 16x16 datapath-only torus — 256 routers plus row taps, the

@@ -26,6 +26,7 @@ import (
 	"daelite/internal/experiments"
 	"daelite/internal/phit"
 	"daelite/internal/sim"
+	"daelite/internal/telemetry"
 	"daelite/internal/topology"
 )
 
@@ -204,11 +205,17 @@ func newChain(workers, n int) *sim.Simulator {
 }
 
 // platformCycleOp reproduces the root BenchmarkPlatformCycle workload: a
-// loaded 4x4 platform stepped one cycle per op.
-func platformCycleOp() (func(), error) {
+// loaded 4x4 platform stepped one cycle per op. With telemetry set it
+// attaches a harvesting registry first, reproducing
+// BenchmarkPlatformCycleTelemetry — the pair bounds the observability
+// overhead in the gated set.
+func platformCycleOp(withTelemetry bool) (func(), error) {
 	p, err := core.NewMeshPlatform(topology.MeshSpec{Width: 4, Height: 4, NIsPerRouter: 1}, core.DefaultParams(), 0, 0)
 	if err != nil {
 		return nil, err
+	}
+	if withTelemetry {
+		p.AttachTelemetry(telemetry.NewRegistry(), 0)
 	}
 	c, err := p.Open(core.ConnectionSpec{Src: p.Mesh.NI(0, 1, 0), Dst: p.Mesh.NI(3, 3, 0), SlotsFwd: 2})
 	if err != nil {
@@ -257,11 +264,19 @@ func writeJSON(outPath string) error {
 		f.Benchmarks[mb.name] = benchfmt.Entry{NsPerOp: measure(func() { s.Step() })}
 		s.Shutdown()
 	}
-	op, err := platformCycleOp()
-	if err != nil {
-		return err
+	for _, pb := range []struct {
+		name      string
+		telemetry bool
+	}{
+		{"BenchmarkPlatformCycle", false},
+		{"BenchmarkPlatformCycleTelemetry", true},
+	} {
+		op, err := platformCycleOp(pb.telemetry)
+		if err != nil {
+			return err
+		}
+		f.Benchmarks[pb.name] = benchfmt.Entry{NsPerOp: measure(op)}
 	}
-	f.Benchmarks["BenchmarkPlatformCycle"] = benchfmt.Entry{NsPerOp: measure(op)}
 	for _, mb := range []struct {
 		name    string
 		workers int

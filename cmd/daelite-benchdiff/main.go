@@ -24,7 +24,9 @@ import (
 )
 
 // defaultGate covers the kernel and platform micro-benchmarks the CI
-// perf job guards (ISSUE: BenchmarkPlatformCycle and BenchmarkKernelStep*).
+// perf job guards: BenchmarkPlatformCycle and its Telemetry variant (the
+// pair that bounds observability overhead), BenchmarkKernelStep* and
+// BenchmarkBigMesh*.
 const defaultGate = `^Benchmark(PlatformCycle|KernelStep|BigMesh)`
 
 func main() {

@@ -13,22 +13,19 @@ import (
 	"fmt"
 	"os"
 
+	"daelite/internal/cli"
 	"daelite/internal/core"
 	"daelite/internal/fault"
 	"daelite/internal/report"
 	"daelite/internal/sim"
 	"daelite/internal/stats"
-	"daelite/internal/topology"
 	"daelite/internal/traffic"
 )
 
 func main() {
-	var meshSpec string
-	var wheel, conns, kill, cycles, workers int
+	var conns, kill, cycles int
 	var seed, timeout uint64
-	flag.StringVar(&meshSpec, "mesh", "4x4", "mesh dimensions WxH")
-	flag.IntVar(&wheel, "wheel", 16, "TDM slot-table size")
-	flag.IntVar(&workers, "workers", 0, "simulation kernel workers (0 = one per CPU, 1 = sequential; the run replays bit-identically for every value)")
+	pf := cli.RegisterPlatformFlags(flag.CommandLine)
 	flag.IntVar(&conns, "conns", 6, "connections to open")
 	flag.IntVar(&kill, "kill", 1, "router-to-router links to kill during the run")
 	flag.IntVar(&cycles, "cycles", 40000, "cycles to soak after set-up")
@@ -36,16 +33,16 @@ func main() {
 	flag.Uint64Var(&timeout, "stall-timeout", 256, "health monitor no-progress window (cycles)")
 	flag.Parse()
 
-	var w, h int
-	if _, err := fmt.Sscanf(meshSpec, "%dx%d", &w, &h); err != nil {
-		fatal("bad -mesh %q: %v", meshSpec, err)
-	}
-	params := core.DefaultParams()
-	params.Wheel = wheel
-	params.Workers = workers
-	p, err := core.NewMeshPlatform(topology.MeshSpec{Width: w, Height: h, NIsPerRouter: 1}, params, 0, 0)
+	p, err := pf.BuildMesh()
 	if err != nil {
 		fatal("%v", err)
+	}
+	exp, err := pf.StartExporters(p)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if url := exp.MetricsURL(); url != "" {
+		fmt.Printf("metrics: %s\n", url)
 	}
 	rng := sim.NewRNG(seed)
 
@@ -93,6 +90,9 @@ func main() {
 	inj, err := fault.Attach(p, rng.Uint64(), faults...)
 	if err != nil {
 		fatal("%v", err)
+	}
+	if exp != nil {
+		inj.AttachTelemetry(exp.Registry)
 	}
 	for _, f := range inj.Faults() {
 		l := p.Mesh.Link(f.Link)
@@ -144,6 +144,9 @@ func main() {
 		fmt.Println(stats.RepairReport(p, repairs))
 	}
 	fmt.Println(linkMon.Report("Link utilization and damage"))
+	if err := exp.Close(); err != nil {
+		fatal("%v", err)
+	}
 	if len(failures) > 0 {
 		fatal("%d connection(s) could not be repaired", len(failures))
 	}

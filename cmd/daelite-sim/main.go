@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"os"
 
+	"daelite/internal/cli"
 	"daelite/internal/core"
 	"daelite/internal/fault"
 	"daelite/internal/report"
@@ -33,13 +34,11 @@ import (
 )
 
 func main() {
-	var meshSpec, vcdPath, specPath, failLink string
-	var wheel, cycles, workers int
+	var vcdPath, specPath, failLink string
+	var cycles int
 	var failAt, faultSeed, stallTimeout uint64
-	flag.StringVar(&meshSpec, "mesh", "4x4", "mesh dimensions WxH")
-	flag.IntVar(&wheel, "wheel", 16, "TDM slot-table size")
+	pf := cli.RegisterPlatformFlags(flag.CommandLine)
 	flag.IntVar(&cycles, "cycles", 50000, "cycles to simulate after set-up")
-	flag.IntVar(&workers, "workers", 0, "simulation kernel workers (0 = one per CPU, 1 = sequential; results are identical)")
 	flag.StringVar(&vcdPath, "vcd", "", "write a VCD waveform of every NI link to this file")
 	flag.StringVar(&specPath, "spec", "", "build the platform from this JSON spec instead of flags")
 	flag.StringVar(&failLink, "fail-link", "", "kill the router link x1,y1-x2,y2 mid-run and repair around it")
@@ -62,8 +61,8 @@ func main() {
 		if err != nil {
 			fatal("%v", err)
 		}
-		if workers != 0 {
-			sp.Params.Workers = workers
+		if pf.Workers != 0 {
+			sp.Params.Workers = pf.Workers
 		}
 		inst, err := sp.Build()
 		if err != nil {
@@ -87,18 +86,18 @@ func main() {
 			prebuiltRates = append(prebuiltRates, rate)
 		}
 	} else {
-		var w, h int
-		if _, err := fmt.Sscanf(meshSpec, "%dx%d", &w, &h); err != nil {
-			fatal("bad -mesh %q: %v", meshSpec, err)
-		}
-		params := core.DefaultParams()
-		params.Wheel = wheel
-		params.Workers = workers
 		var err error
-		p, err = core.NewMeshPlatform(topology.MeshSpec{Width: w, Height: h, NIsPerRouter: 1}, params, 0, 0)
+		p, err = pf.BuildMesh()
 		if err != nil {
 			fatal("%v", err)
 		}
+	}
+	exp, err := pf.StartExporters(p)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if url := exp.MetricsURL(); url != "" {
+		fmt.Printf("metrics: %s\n", url)
 	}
 	mon := stats.NewMonitor(p)
 	var rec *trace.Recorder
@@ -178,6 +177,9 @@ func main() {
 		if err != nil {
 			fatal("%v", err)
 		}
+		if exp != nil {
+			inj.AttachTelemetry(exp.Registry)
+		}
 		mon.ObserveFaults(inj)
 		hmon = core.NewHealthMonitor(p, stallTimeout)
 		fmt.Printf("fault scheduled: %s dies at cycle %d\n", failLink, at)
@@ -221,6 +223,9 @@ func main() {
 		}
 	}
 	fmt.Println(mon.Report("Link utilization"))
+	if err := exp.Close(); err != nil {
+		fatal("%v", err)
+	}
 
 	if rec != nil {
 		f, err := os.Create(vcdPath)

@@ -19,6 +19,7 @@
 //	internal/area       the Table II gate-equivalent area model
 //	internal/traffic    workload generators and latency probes
 //	internal/analysis   analytical QoS bounds
+//	internal/telemetry  cycle-domain metrics registry and exporters
 //
 // Quickstart:
 //

@@ -36,7 +36,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("connection open after %d cycles (%d configuration words)\n",
-		conn.SetupCycles(), conn.SetupWords)
+		conn.SetupCycles(), conn.Setup.Words)
 
 	// Send a burst and collect it at the destination.
 	src := p.NI(conn.Spec.Src)

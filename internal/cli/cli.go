@@ -1,0 +1,169 @@
+// Package cli carries the command-line surface shared by the daelite
+// simulation front-ends (daelite-sim, daelite-chaos): the mesh/wheel/
+// workers platform flags, platform construction from them, and the
+// optional telemetry exporters — a Prometheus text endpoint served over
+// HTTP while the run is in flight, and an NDJSON snapshot written when it
+// ends. Front-ends register the shared flags once and keep only their
+// command-specific ones, so a new platform or telemetry flag lands in
+// every command at the same time.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+
+	"daelite/internal/core"
+	"daelite/internal/telemetry"
+	"daelite/internal/topology"
+)
+
+// PlatformFlags is the shared flag set. Zero value is not useful; call
+// RegisterPlatformFlags to bind it to a flag.FlagSet with defaults.
+type PlatformFlags struct {
+	// Mesh is the "-mesh WxH" dimension string.
+	Mesh string
+	// Wheel is the TDM slot-table size.
+	Wheel int
+	// Workers is the simulation kernel parallelism (0 = one per CPU,
+	// 1 = sequential; results are identical for every value).
+	Workers int
+
+	// MetricsAddr, when non-empty, serves Prometheus text exposition on
+	// http://<addr>/metrics for the duration of the run.
+	MetricsAddr string
+	// TelemetryOut, when non-empty, writes an NDJSON snapshot of the
+	// registry (metrics, spans, events) to this file at the end of the
+	// run.
+	TelemetryOut string
+	// TelemetrySample is the harvest interval in cycles (<= 0 selects
+	// core.DefaultTelemetrySample).
+	TelemetrySample int
+}
+
+// RegisterPlatformFlags binds the shared flags to fs with the standard
+// defaults. Call before fs.Parse.
+func RegisterPlatformFlags(fs *flag.FlagSet) *PlatformFlags {
+	f := &PlatformFlags{}
+	fs.StringVar(&f.Mesh, "mesh", "4x4", "mesh dimensions WxH")
+	fs.IntVar(&f.Wheel, "wheel", 16, "TDM slot-table size")
+	fs.IntVar(&f.Workers, "workers", 0, "simulation kernel workers (0 = one per CPU, 1 = sequential; results are identical)")
+	fs.StringVar(&f.MetricsAddr, "metrics-addr", "", "serve Prometheus metrics on this address (host:port) during the run")
+	fs.StringVar(&f.TelemetryOut, "telemetry-out", "", "write an NDJSON telemetry snapshot to this file at the end of the run")
+	fs.IntVar(&f.TelemetrySample, "telemetry-sample", core.DefaultTelemetrySample, "telemetry harvest interval in cycles")
+	return f
+}
+
+// Params resolves the platform parameters the flags describe.
+func (f *PlatformFlags) Params() core.Params {
+	params := core.DefaultParams()
+	params.Wheel = f.Wheel
+	params.Workers = f.Workers
+	return params
+}
+
+// BuildMesh parses -mesh and constructs a mesh platform from the flags.
+func (f *PlatformFlags) BuildMesh() (*core.Platform, error) {
+	var w, h int
+	if _, err := fmt.Sscanf(f.Mesh, "%dx%d", &w, &h); err != nil {
+		return nil, fmt.Errorf("bad -mesh %q: %w", f.Mesh, err)
+	}
+	return core.NewMeshPlatform(topology.MeshSpec{Width: w, Height: h, NIsPerRouter: 1}, f.Params(), 0, 0)
+}
+
+// TelemetryEnabled reports whether any telemetry exporter flag was given.
+func (f *PlatformFlags) TelemetryEnabled() bool {
+	return f.MetricsAddr != "" || f.TelemetryOut != ""
+}
+
+// Exporters is the live exporter state of one run: the registry the
+// platform publishes into, the optional HTTP server, and the pending
+// NDJSON output path. A nil *Exporters is valid and inert, so callers can
+// unconditionally defer Close.
+type Exporters struct {
+	// Registry is the attached telemetry registry.
+	Registry *telemetry.Registry
+
+	p    *core.Platform
+	srv  *http.Server
+	ln   net.Listener
+	out  string
+	addr string
+}
+
+// StartExporters attaches a telemetry registry to the platform and starts
+// the exporters the flags ask for. Returns (nil, nil) when no telemetry
+// flag was given — the platform then runs with zero telemetry cost. Call
+// before opening connections so set-up spans are captured, and before
+// stats.NewMonitor so the monitor publishes into the same registry.
+//
+// The /metrics handler renders whatever the harvest probe last mirrored —
+// it never touches simulation state, so scraping is race-free while the
+// run is stepping; values are at most one sample interval stale.
+func (f *PlatformFlags) StartExporters(p *core.Platform) (*Exporters, error) {
+	if !f.TelemetryEnabled() {
+		return nil, nil
+	}
+	reg := p.Telemetry()
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+		p.AttachTelemetry(reg, f.TelemetrySample)
+	}
+	e := &Exporters{Registry: reg, p: p, out: f.TelemetryOut}
+	if f.MetricsAddr != "" {
+		ln, err := net.Listen("tcp", f.MetricsAddr)
+		if err != nil {
+			return nil, fmt.Errorf("-metrics-addr: %w", err)
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = telemetry.WritePrometheus(w, reg)
+		})
+		e.ln = ln
+		e.addr = ln.Addr().String()
+		e.srv = &http.Server{Handler: mux}
+		go func() { _ = e.srv.Serve(ln) }()
+	}
+	return e, nil
+}
+
+// MetricsURL returns the scrape URL of the running endpoint ("" without
+// -metrics-addr). Useful with a ":0" listen address.
+func (e *Exporters) MetricsURL() string {
+	if e == nil || e.addr == "" {
+		return ""
+	}
+	return "http://" + e.addr + "/metrics"
+}
+
+// Close finishes the exporters: it forces a final harvest, writes the
+// NDJSON snapshot if -telemetry-out was given, and stops the HTTP server.
+// Call from the goroutine that stepped the simulation, after the run.
+func (e *Exporters) Close() error {
+	if e == nil {
+		return nil
+	}
+	e.p.FlushTelemetry()
+	var firstErr error
+	if e.out != "" {
+		f, err := os.Create(e.out)
+		if err == nil {
+			err = telemetry.WriteNDJSON(f, e.Registry, e.p.Cycle())
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			firstErr = fmt.Errorf("-telemetry-out: %w", err)
+		}
+	}
+	if e.srv != nil {
+		if err := e.srv.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

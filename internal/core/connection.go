@@ -2,10 +2,13 @@ package core
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"daelite/internal/alloc"
 	"daelite/internal/cfgproto"
 	"daelite/internal/phit"
+	"daelite/internal/telemetry"
 	"daelite/internal/topology"
 )
 
@@ -87,13 +90,13 @@ type Connection struct {
 
 	State ConnState
 
-	// SetupSubmitCycle and SetupDoneCycle bound the set-up duration as
-	// measured on the platform (Table III methodology).
-	SetupSubmitCycle uint64
-	SetupDoneCycle   uint64
-
-	// SetupWords counts the configuration words of all set-up packets.
-	SetupWords int
+	// Setup is the structured set-up transaction: submit and settle
+	// cycles bound the set-up duration as measured on the platform
+	// (Table III methodology) and Words counts the configuration words
+	// of all set-up packets. It settles when CompleteConfig observes the
+	// configuration drained, and is mirrored into the platform's
+	// telemetry registry when one is attached.
+	Setup telemetry.Span
 }
 
 // Open allocates, configures and returns a connection. The returned
@@ -261,39 +264,53 @@ func (p *Platform) openMulticast(spec ConnectionSpec, prefSrcCh int, prefDstChs 
 	return c, nil
 }
 
+// connDetail renders a connection's endpoints for span/event records.
+func (p *Platform) connDetail(spec ConnectionSpec) string {
+	src := p.Mesh.Node(spec.Src).Name
+	if !spec.multicast() {
+		return src + ">" + p.Mesh.Node(spec.Dst).Name
+	}
+	ds := make([]string, len(spec.Dsts))
+	for i, d := range spec.Dsts {
+		ds[i] = p.Mesh.Node(d).Name
+	}
+	sort.Strings(ds)
+	return src + ">{" + strings.Join(ds, ",") + "}"
+}
+
 func (p *Platform) submitAll(c *Connection, packets [][]phit.ConfigWord) error {
-	c.SetupSubmitCycle = p.Sim.Cycle()
+	c.Setup = telemetry.Span{
+		Op:          "setup",
+		ID:          c.ID,
+		SubmitCycle: p.Sim.Cycle(),
+		Detail:      p.connDetail(c.Spec),
+	}
 	for _, pkt := range packets {
-		c.SetupWords += len(pkt)
+		c.Setup.Words += len(pkt)
 		if err := p.Host.SubmitPacket(pkt); err != nil {
 			return err
 		}
 	}
+	p.pendingSpans = append(p.pendingSpans, &c.Setup)
 	return nil
 }
 
 // AwaitOpen runs the platform until the connection's configuration has
-// fully settled and marks it Open, recording the set-up completion cycle.
+// fully settled and marks it Open; CompleteConfig settles the set-up span
+// on the way.
 func (p *Platform) AwaitOpen(c *Connection, budget uint64) error {
-	done, err := p.CompleteConfig(budget)
-	if err != nil {
+	if _, err := p.CompleteConfig(budget); err != nil {
 		return err
 	}
 	if c.State == Opening {
 		c.State = Open
-		c.SetupDoneCycle = done
 	}
 	return nil
 }
 
 // SetupCycles returns the measured set-up duration (submission to settled
 // configuration), the Table III metric.
-func (c *Connection) SetupCycles() uint64 {
-	if c.SetupDoneCycle < c.SetupSubmitCycle {
-		return 0
-	}
-	return c.SetupDoneCycle - c.SetupSubmitCycle
-}
+func (c *Connection) SetupCycles() uint64 { return c.Setup.Cycles() }
 
 // Close tears the connection down: slots are disabled destination-first
 // (the same packet structure as set-up, with no-forward specs), flags and
@@ -342,11 +359,19 @@ func (p *Platform) Close(c *Connection) error {
 		return err
 	}
 	packets = append(packets, wr...)
+	td := &telemetry.Span{
+		Op:          "teardown",
+		ID:          c.ID,
+		SubmitCycle: p.Sim.Cycle(),
+		Detail:      p.connDetail(c.Spec),
+	}
 	for _, pkt := range packets {
+		td.Words += len(pkt)
 		if err := p.Host.SubmitPacket(pkt); err != nil {
 			return err
 		}
 	}
+	p.pendingSpans = append(p.pendingSpans, td)
 
 	// Release bookkeeping.
 	if c.Tree != nil {

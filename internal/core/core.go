@@ -20,6 +20,7 @@ import (
 	"daelite/internal/phit"
 	"daelite/internal/router"
 	"daelite/internal/sim"
+	"daelite/internal/telemetry"
 	"daelite/internal/topology"
 )
 
@@ -108,6 +109,15 @@ type Platform struct {
 	channelsUsed map[topology.NodeID]map[int]bool
 	connections  map[int]*Connection
 	nextConnID   int
+
+	// tel is the attached telemetry registry (nil when observability is
+	// off); harvest is the cached per-component handle state of the
+	// sampling probe. pendingSpans holds configuration transactions
+	// submitted but not yet settled; CompleteConfig stamps and emits
+	// them.
+	tel          *telemetry.Registry
+	harvest      *telHarvest
+	pendingSpans []*telemetry.Span
 }
 
 // NewMeshPlatform builds a Width x Height mesh platform with one NI per
@@ -324,7 +334,18 @@ func (p *Platform) CompleteConfig(budget uint64) (uint64, error) {
 		return p.Sim.Cycle(), fmt.Errorf("core: configuration did not drain within %d cycles", budget)
 	}
 	p.Sim.Run(p.ConfigSettleCycles())
-	return p.Sim.Cycle(), nil
+	done := p.Sim.Cycle()
+	// Every submitted transaction has drained: settle its span and
+	// publish it. Spans settle even without a registry — SetupCycles
+	// reads them directly.
+	for _, s := range p.pendingSpans {
+		s.SettleCycle = done
+		if p.tel != nil {
+			p.tel.EmitSpan(*s)
+		}
+	}
+	p.pendingSpans = p.pendingSpans[:0]
+	return done, nil
 }
 
 // allocChannel reserves a free local channel index on an NI.

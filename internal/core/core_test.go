@@ -348,7 +348,7 @@ func TestSetupCyclesMeasured(t *testing.T) {
 	if c.SetupCycles() == 0 {
 		t.Fatal("setup cycles not measured")
 	}
-	if c.SetupWords == 0 {
+	if c.Setup.Words == 0 {
 		t.Fatal("setup words not counted")
 	}
 	// daelite's promise: tens of cycles, not thousands.

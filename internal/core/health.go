@@ -1,8 +1,10 @@
 package core
 
 import (
+	"fmt"
 	"sort"
 
+	"daelite/internal/telemetry"
 	"daelite/internal/topology"
 )
 
@@ -69,7 +71,15 @@ func (h *HealthMonitor) poll(cycle uint64) {
 			delete(h.state, id)
 		}
 	}
-	for id, c := range h.p.connections {
+	// Poll in ID order: stall events must be emitted in a deterministic
+	// order, not the connection map's iteration order.
+	ids := make([]int, 0, len(h.p.connections))
+	for id := range h.p.connections {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		c := h.p.connections[id]
 		if c.State != Open {
 			continue
 		}
@@ -114,6 +124,13 @@ func (h *HealthMonitor) poll(cycle uint64) {
 			if cycle-la >= h.timeout {
 				st.stalled = true
 				st.detect = cycle
+				if h.p.tel != nil {
+					h.p.tel.Emit(telemetry.Event{
+						Cycle:  cycle,
+						Kind:   "stall",
+						Detail: fmt.Sprintf("conn %d (%s)", id, h.p.connDetail(c.Spec)),
+					})
+				}
 				break
 			}
 		}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"daelite/internal/telemetry"
 	"daelite/internal/topology"
 )
 
@@ -97,6 +98,25 @@ func (p *Platform) Repair(c *Connection, budget uint64) (*RepairResult, error) {
 	res.Conn = nc
 	res.NewID = nc.ID
 	res.DoneCycle = p.Sim.Cycle()
+	if p.tel != nil {
+		// The repair span covers the whole tear-down + re-set-up
+		// transaction; the set-up and teardown legs are also emitted
+		// individually by CompleteConfig. Words counts the re-set-up
+		// packets (the repair-specific configuration cost).
+		p.tel.EmitSpan(telemetry.Span{
+			Op:          "repair",
+			ID:          nc.ID,
+			SubmitCycle: res.SubmitCycle,
+			SettleCycle: res.DoneCycle,
+			Words:       nc.Setup.Words,
+			Detail:      p.connDetail(nc.Spec),
+		})
+		p.tel.Emit(telemetry.Event{
+			Cycle:  res.DoneCycle,
+			Kind:   "repair",
+			Detail: fmt.Sprintf("conn %d -> %d (%s)", res.OldID, res.NewID, p.connDetail(nc.Spec)),
+		})
+	}
 	return res, nil
 }
 

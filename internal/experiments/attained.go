@@ -127,9 +127,9 @@ func AblationLongLinks() (*Result, error) {
 		if int(lat) != model {
 			return nil, fmt.Errorf("long-link latency %v != model %d", lat, model)
 		}
-		t.AddRow(stages, advance, fmt.Sprintf("%.0f", lat), c.SetupWords, c.SetupCycles())
+		t.AddRow(stages, advance, fmt.Sprintf("%.0f", lat), c.Setup.Words, c.SetupCycles())
 		r.Metrics[fmt.Sprintf("latency_s%d", stages)] = lat
-		r.Metrics[fmt.Sprintf("setupwords_s%d", stages)] = float64(c.SetupWords)
+		r.Metrics[fmt.Sprintf("setupwords_s%d", stages)] = float64(c.Setup.Words)
 	}
 	r.Text = t.Render() + "\nEach pipeline stage costs one TDM slot of latency and two padding words per set-up packet; scheduling stays contention-free.\n"
 	return r, nil

@@ -23,6 +23,7 @@ import (
 	"daelite/internal/phit"
 	"daelite/internal/sim"
 	"daelite/internal/slots"
+	"daelite/internal/telemetry"
 	"daelite/internal/topology"
 )
 
@@ -146,6 +147,17 @@ type Injector struct {
 	fired  []bool // one-shot bookkeeping per fault
 	c      Counters
 	links  map[topology.LinkID]*LinkErrors
+
+	// Telemetry (optional): each fault emits one event when it first
+	// becomes active, and the activation counters are mirrored into the
+	// registry every cycle the injector runs.
+	tel       *telemetry.Registry
+	announced []bool
+	telKilled *telemetry.Counter
+	telFlips  *telemetry.Counter
+	telCDrops *telemetry.Counter
+	telCFlips *telemetry.Counter
+	telTable  *telemetry.Counter
 }
 
 // Attach validates the fault schedule, registers an injector with the
@@ -208,6 +220,21 @@ func linkWire(p *core.Platform, id topology.LinkID) (*sim.Reg[phit.Flit], error)
 // Name implements sim.Component.
 func (inj *Injector) Name() string { return inj.name }
 
+// AttachTelemetry publishes the injector into a registry: per-kind
+// activation counters (mirrored as the injector runs) and one "fault"
+// event per scheduled fault when it first becomes active. Attach before
+// the run; the injector evaluates in the sequential ordered tail, so the
+// published values are deterministic for every kernel worker count.
+func (inj *Injector) AttachTelemetry(reg *telemetry.Registry) {
+	inj.tel = reg
+	inj.announced = make([]bool, len(inj.faults))
+	inj.telKilled = reg.Counter("fault_flits_killed_total")
+	inj.telFlips = reg.Counter("fault_payload_flips_total")
+	inj.telCDrops = reg.Counter("fault_config_drops_total")
+	inj.telCFlips = reg.Counter("fault_config_flips_total")
+	inj.telTable = reg.Counter("fault_table_flips_total")
+}
+
 // Counters returns the activation counters so far.
 func (inj *Injector) Counters() Counters { return inj.c }
 
@@ -255,6 +282,7 @@ func (inj *Injector) Eval(cycle uint64) {
 		if f.Kind == SlotTableFlip {
 			if !inj.fired[i] && c1 >= f.From {
 				inj.fired[i] = true
+				inj.announce(i, c1)
 				inj.flipTableEntry(f)
 			}
 			continue
@@ -262,6 +290,7 @@ func (inj *Injector) Eval(cycle uint64) {
 		if c1 < f.From || (f.To != 0 && c1 >= f.To) {
 			continue
 		}
+		inj.announce(i, c1)
 		switch f.Kind {
 		case LinkDown:
 			w := inj.wires[f.Link]
@@ -299,6 +328,22 @@ func (inj *Injector) Eval(cycle uint64) {
 			}
 		}
 	}
+	if inj.tel != nil {
+		inj.telKilled.Store(inj.c.FlitsKilled)
+		inj.telFlips.Store(inj.c.PayloadFlips)
+		inj.telCDrops.Store(inj.c.ConfigDrops)
+		inj.telCFlips.Store(inj.c.ConfigFlips)
+		inj.telTable.Store(inj.c.TableFlips)
+	}
+}
+
+// announce emits the one-time activation event of fault i.
+func (inj *Injector) announce(i int, cycle uint64) {
+	if inj.tel == nil || inj.announced[i] {
+		return
+	}
+	inj.announced[i] = true
+	inj.tel.Emit(telemetry.Event{Cycle: cycle, Kind: "fault", Detail: inj.faults[i].String()})
 }
 
 // fires decides a transient fault's per-cycle activation.

@@ -103,6 +103,12 @@ type channel struct {
 	// txWords counts every word injected on the channel, the matching
 	// source-side progress signal.
 	txWords uint64
+	// creditStall counts TX slots in which the channel had a queued word
+	// but zero credit — the cycles end-to-end flow control held the
+	// reserved bandwidth idle. A growing stall count with a healthy
+	// network means the consumer is slow; with a dead reverse path it is
+	// the first symptom of the failure.
+	creditStall uint64
 }
 
 type queuedWord struct {
@@ -147,6 +153,7 @@ type NI struct {
 	injected  uint64
 	delivered uint64
 	dropped   uint64
+	rejected  uint64
 	// curCycle tracks the last evaluated cycle so that IP-side Send
 	// calls can stamp submission times.
 	curCycle uint64
@@ -241,6 +248,7 @@ func (n *NI) CanSend(ch int) bool {
 func (n *NI) Send(ch int, w phit.Word) bool {
 	c := n.channels[ch]
 	if c.flags&cfgproto.FlagOpen == 0 || len(c.sendQ)+len(c.pendSend) >= n.params.SendQueueDepth {
+		n.rejected++
 		return false
 	}
 	tag := phit.Tag{Channel: n.id<<8 | ch, Seq: c.seq, SubmitCycle: n.curCycle}
@@ -286,8 +294,18 @@ func (n *NI) RxWords(ch int) uint64 { return n.channels[ch].rxWords }
 // TxWords returns the lifetime count of words injected on channel ch.
 func (n *NI) TxWords(ch int) uint64 { return n.channels[ch].txWords }
 
+// CreditStallCycles returns how many TX slots channel ch spent with a
+// queued word but no credit — reserved bandwidth held idle by end-to-end
+// flow control.
+func (n *NI) CreditStallCycles(ch int) uint64 { return n.channels[ch].creditStall }
+
 // Flags returns the state flags of channel ch.
 func (n *NI) Flags(ch int) uint8 { return n.channels[ch].flags }
+
+// Rejected returns the number of Send calls refused because the channel
+// was not open or its send queue was full — the IP-side injection
+// back-pressure counter.
+func (n *NI) Rejected() uint64 { return n.rejected }
 
 // Stats returns the total words injected into and delivered from the
 // network by this NI.
@@ -356,6 +374,8 @@ func (n *NI) Eval(cycle uint64) {
 				out.Tag.InjectCycle = c1
 				n.injected++
 				ch.txWords++
+			} else if len(ch.sendQ) > 0 {
+				ch.creditStall++
 			}
 		}
 	}

@@ -69,8 +69,11 @@ type Router struct {
 	respOut   *sim.Reg[phit.Response]
 
 	// forwarded counts valid words driven on any output (activity for
-	// the energy model).
+	// the energy model); outBusy attributes the same count to each
+	// output port, so per-link slot occupancy can be compared against
+	// the allocator's reservations.
 	forwarded uint64
+	outBusy   []uint64
 }
 
 // New creates a router with the given port counts, registers its state
@@ -91,6 +94,7 @@ func New(s *sim.Simulator, name string, id int, numIn, numOut int, params Params
 		inWires:   make([]*sim.Reg[phit.Flit], numIn),
 		inRegs:    make([]*sim.Reg[phit.Flit], numIn),
 		outWires:  make([]*sim.Reg[phit.Flit], numOut),
+		outBusy:   make([]uint64, numOut),
 		table:     slots.NewRouterTable(numOut, params.Wheel),
 		cfgInReg:  sim.NewReg(s, phit.ConfigWord{}),
 		respMerge: sim.NewReg(s, phit.Response{}),
@@ -151,6 +155,13 @@ func (r *Router) Table() *slots.RouterTable { return r.table }
 // per-traversal energy.
 func (r *Router) Forwarded() uint64 { return r.forwarded }
 
+// OutputBusy returns the number of valid words driven on output port o,
+// the per-link slot-occupancy counter telemetry exports.
+func (r *Router) OutputBusy(o int) uint64 { return r.outBusy[o] }
+
+// NumOutputs returns the router's output port count.
+func (r *Router) NumOutputs() int { return len(r.outWires) }
+
 // Eval implements sim.Component.
 func (r *Router) Eval(cycle uint64) {
 	// Stage 1: latch input wires into the input registers.
@@ -175,6 +186,7 @@ func (r *Router) Eval(cycle uint64) {
 		f := r.inRegs[in].Get()
 		if f.Valid {
 			r.forwarded++
+			r.outBusy[o]++
 		}
 		r.outWires[o].Set(f)
 	}

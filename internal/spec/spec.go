@@ -245,7 +245,6 @@ func (s *Spec) Build() (*Instance, error) {
 	for _, c := range inst.Connections {
 		if c.State == core.Opening {
 			c.State = core.Open
-			c.SetupDoneCycle = p.Cycle()
 		}
 	}
 	return inst, nil

@@ -1,0 +1,206 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4). Metric families are emitted in sorted-name
+// order and label sets in sorted-key order, so the output for a given
+// registry state is deterministic. Series are exported as a gauge holding
+// the most recent sample; spans and events are summarised as counters
+// (per-op span counts and cycle sums) since Prometheus has no native
+// structured-event type — use the NDJSON exporter for the full stream.
+func WritePrometheus(w io.Writer, r *Registry) error {
+	entries := r.sortedEntries()
+
+	// Group by name so each family gets exactly one # TYPE line even
+	// when several label sets share it.
+	typeWritten := make(map[string]bool)
+	writeType := func(name, typ string) error {
+		if typeWritten[name] {
+			return nil
+		}
+		typeWritten[name] = true
+		_, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+		return err
+	}
+
+	for _, e := range entries {
+		name := promName(e.name)
+		switch e.kind {
+		case kindCounter:
+			if err := writeType(name, "counter"); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", name, promLabels(e.labels, ""), e.counter.Value()); err != nil {
+				return err
+			}
+		case kindGauge:
+			if err := writeType(name, "gauge"); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", name, promLabels(e.labels, ""), e.gauge.Value()); err != nil {
+				return err
+			}
+		case kindHistogram:
+			if err := writeType(name, "histogram"); err != nil {
+				return err
+			}
+			bounds, cum := e.hist.Buckets()
+			for i, ub := range bounds {
+				le := fmt.Sprintf("%d", ub)
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, promLabels(e.labels, le), cum[i]); err != nil {
+					return err
+				}
+			}
+			count := e.hist.Count()
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, promLabels(e.labels, "+Inf"), count); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %d\n", name, promLabels(e.labels, ""), e.hist.Sum()); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count%s %d\n", name, promLabels(e.labels, ""), count); err != nil {
+				return err
+			}
+		case kindSeries:
+			if err := writeType(name, "gauge"); err != nil {
+				return err
+			}
+			last, ok := e.series.Last()
+			if !ok {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%s%s %g\n", name, promLabels(e.labels, ""), last.Value); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Span summary: count and total cycles per op, in sorted-op order.
+	type opAgg struct {
+		count  uint64
+		cycles uint64
+		words  uint64
+	}
+	aggs := make(map[string]*opAgg)
+	for _, s := range r.Spans() {
+		a := aggs[s.Op]
+		if a == nil {
+			a = &opAgg{}
+			aggs[s.Op] = a
+		}
+		if !s.Settled() {
+			continue
+		}
+		a.count++
+		a.cycles += s.Cycles()
+		a.words += uint64(s.Words)
+	}
+	ops := make([]string, 0, len(aggs))
+	for op := range aggs {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	if len(ops) > 0 {
+		for _, fam := range []string{"daelite_config_spans_total", "daelite_config_span_cycles_total", "daelite_config_span_words_total"} {
+			if err := writeType(fam, "counter"); err != nil {
+				return err
+			}
+		}
+		for _, op := range ops {
+			a := aggs[op]
+			lbl := promLabels([]Label{{Key: "op", Value: op}}, "")
+			if _, err := fmt.Fprintf(w, "daelite_config_spans_total%s %d\n", lbl, a.count); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "daelite_config_span_cycles_total%s %d\n", lbl, a.cycles); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "daelite_config_span_words_total%s %d\n", lbl, a.words); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Event summary: counts per kind.
+	kinds := make(map[string]uint64)
+	for _, ev := range r.Events() {
+		kinds[ev.Kind]++
+	}
+	ks := make([]string, 0, len(kinds))
+	for k := range kinds {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	if len(ks) > 0 {
+		if err := writeType("daelite_events_total", "counter"); err != nil {
+			return err
+		}
+		for _, k := range ks {
+			if _, err := fmt.Fprintf(w, "daelite_events_total%s %d\n", promLabels([]Label{{Key: "kind", Value: k}}, ""), kinds[k]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// promName maps a registry metric name to a Prometheus metric name:
+// prefixed with daelite_ and with invalid characters replaced.
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString("daelite_")
+	for i, r := range name {
+		ok := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9' && i > 0)
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promLabels renders a label set (plus an optional le bucket label) as
+// {k="v",...}, or the empty string for no labels.
+func promLabels(labels []Label, le string) string {
+	if len(labels) == 0 && le == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	for _, l := range labels {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		fmt.Fprintf(&b, "%s=%q", promLabelKey(l.Key), l.Value)
+	}
+	if le != "" {
+		if !first {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "le=%q", le)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func promLabelKey(k string) string {
+	var b strings.Builder
+	for i, r := range k {
+		ok := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9' && i > 0)
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

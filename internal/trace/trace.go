@@ -13,10 +13,12 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"strings"
 
 	"daelite/internal/phit"
 	"daelite/internal/sim"
+	"daelite/internal/telemetry"
 )
 
 // Kind describes how a signal is rendered in the VCD.
@@ -115,6 +117,18 @@ func (r *Recorder) AddConfigWire(name string, w *sim.Reg[phit.ConfigWord]) *Sign
 			v = 1<<7 | uint64(cw.Bits&0x7F)
 		}
 		return fmt.Sprintf("%08b", v)
+	})
+}
+
+// AddGauge traces a telemetry gauge as a real signal, putting a registry
+// metric (queue depth, credit level, current cycle) in the waveform next
+// to the wires that explain it. The recorder and the telemetry harvest
+// both run in the probe phase on the stepping goroutine, so the VCD and
+// the registry see the same values in the same cycles regardless of the
+// kernel worker count; the trace steps at the harvest interval.
+func (r *Recorder) AddGauge(name string, g *telemetry.Gauge) *Signal {
+	return r.Add(name, Real, 0, func() string {
+		return strconv.FormatInt(g.Value(), 10)
 	})
 }
 

@@ -1,13 +1,17 @@
 package trace
 
 import (
+	"runtime"
+	"strconv"
 	"strings"
 	"testing"
 
 	"daelite/internal/core"
 	"daelite/internal/phit"
 	"daelite/internal/sim"
+	"daelite/internal/telemetry"
 	"daelite/internal/topology"
+	"daelite/internal/traffic"
 )
 
 func TestRecorderCapturesChangesOnly(t *testing.T) {
@@ -93,6 +97,61 @@ func TestVCDIDsUnique(t *testing.T) {
 func TestSanitize(t *testing.T) {
 	if sanitize("NI00->R00[2]") != "NI00__R00_2_" {
 		t.Fatalf("sanitize = %q", sanitize("NI00->R00[2]"))
+	}
+}
+
+// TestGaugeSignalsDeterministicAcrossWorkers drives Real-kind VCD signals
+// from telemetry gauges: the waveform and the registry are sampled in the
+// same probe pass, so the emitted VCD must be byte-identical for every
+// kernel worker count and the last traced value must equal what the
+// registry reports.
+func TestGaugeSignalsDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) string {
+		params := core.DefaultParams()
+		params.Workers = workers
+		p, err := core.NewMeshPlatform(topology.MeshSpec{Width: 2, Height: 2, NIsPerRouter: 1}, params, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg := telemetry.NewRegistry()
+		p.AttachTelemetry(reg, 4)
+		rec := New(p.Sim)
+		c, err := p.Open(core.ConnectionSpec{Src: p.Mesh.NI(0, 0, 0), Dst: p.Mesh.NI(1, 1, 0), SlotsFwd: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.AwaitOpen(c, 10000); err != nil {
+			t.Fatal(err)
+		}
+		srcName := p.Mesh.Node(c.Spec.Src).Name
+		q := reg.Gauge("ni_send_queue_depth",
+			telemetry.L("ni", srcName), telemetry.L("ch", strconv.Itoa(c.SrcChannel)))
+		sq := rec.AddGauge(srcName+".sendq", q)
+		rec.AddGauge("cycle", reg.Gauge("cycle"))
+		// Oversubscribe the 2/8 reservation so the send queue visibly
+		// fills and drains.
+		traffic.NewSource(p.Sim, "src", p.NI(c.Spec.Src), c.SrcChannel,
+			traffic.SourceConfig{Pattern: traffic.CBR, Rate: 0.5, Seed: 5})
+		traffic.NewSink(p.Sim, "sink", p.NI(c.Spec.Dst), c.DstChannel)
+		p.Run(512)
+		if sq.Changes() == 0 {
+			t.Fatal("send-queue gauge never changed in the trace")
+		}
+		// The last traced value is the registry's current value.
+		if got := sq.last; got != strconv.FormatInt(q.Value(), 10) {
+			t.Fatalf("trace ends at %s, registry says %d", got, q.Value())
+		}
+		var b strings.Builder
+		if err := rec.WriteVCD(&b, ""); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	base := run(1)
+	for _, w := range []int{2, runtime.NumCPU()} {
+		if got := run(w); got != base {
+			t.Fatalf("VCD differs between workers=1 and workers=%d", w)
+		}
 	}
 }
 

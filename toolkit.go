@@ -17,6 +17,7 @@ import (
 	"daelite/internal/ni"
 	"daelite/internal/spec"
 	"daelite/internal/stats"
+	"daelite/internal/telemetry"
 	"daelite/internal/topology"
 	"daelite/internal/trace"
 	"daelite/internal/traffic"
@@ -127,6 +128,42 @@ type PlatformInstance = spec.Instance
 func ParseSpec(r io.Reader) (*PlatformSpec, error) { return spec.Parse(r) }
 
 // --- Observability ---
+
+// TelemetryRegistry is the deterministic cycle-domain metrics store:
+// counters, gauges, histograms, windowed series, configuration spans and
+// events. Attach one with Platform.AttachTelemetry and export it with
+// WritePrometheus or WriteTelemetryNDJSON.
+type TelemetryRegistry = telemetry.Registry
+
+// TelemetryLabel is one key=value metric label.
+type TelemetryLabel = telemetry.Label
+
+// ConfigSpan is the structured record of one configuration operation
+// (set-up, tear-down or repair): submit and settle cycles plus the
+// configuration words spent.
+type ConfigSpan = telemetry.Span
+
+// TelemetryEvent is one discrete occurrence (fault activation, stall
+// detection, repair) stamped with its cycle.
+type TelemetryEvent = telemetry.Event
+
+// NewTelemetryRegistry creates an empty registry.
+func NewTelemetryRegistry() *TelemetryRegistry { return telemetry.NewRegistry() }
+
+// TelemetryL builds a metric label.
+func TelemetryL(key, value string) TelemetryLabel { return telemetry.L(key, value) }
+
+// WritePrometheus renders the registry in Prometheus text exposition
+// format. Safe to call while the platform is running.
+func WritePrometheus(w io.Writer, r *TelemetryRegistry) error {
+	return telemetry.WritePrometheus(w, r)
+}
+
+// WriteTelemetryNDJSON writes a newline-delimited JSON snapshot of the
+// registry (metrics, spans, events), stamped with the given cycle.
+func WriteTelemetryNDJSON(w io.Writer, r *TelemetryRegistry, cycle uint64) error {
+	return telemetry.WriteNDJSON(w, r, cycle)
+}
 
 // LinkMonitor samples per-link utilization.
 type LinkMonitor = stats.Monitor
