@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet fmt race bench benchdiff bench-baseline experiments golden examples cover clean
+.PHONY: all build test vet fmt race bench benchdiff bench-baseline experiments golden examples cover fuzz profile clean
 
 all: build vet test
 
@@ -57,6 +57,17 @@ examples:
 
 cover:
 	$(GO) test -cover ./...
+
+# Short seeded fuzz run of the allocation verifier — the same budget as
+# the CI fuzz step.
+fuzz:
+	$(GO) test ./internal/alloc -run '^$$' -fuzz FuzzVerify -fuzztime 30s
+
+# Profile the admission engine end to end (E17) and drop cpu.pprof /
+# mem.pprof for `go tool pprof`.
+profile:
+	$(GO) run ./cmd/daelite-bench -experiment E17 -cpuprofile cpu.pprof -memprofile mem.pprof
+	@echo "wrote cpu.pprof mem.pprof — inspect with: go tool pprof cpu.pprof"
 
 clean:
 	$(GO) clean ./...

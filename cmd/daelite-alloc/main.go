@@ -7,7 +7,11 @@
 //
 //	daelite-alloc -mesh 4x4 -wheel 16 0,0-3,3:2 1,0-1,3:4
 //
-// Flags select multipath splitting and detour budgets.
+// Flags select multipath splitting and detour budgets. With -batch the
+// requests are admitted atomically-per-request through the parallel batch
+// engine (-workers controls the what-if evaluation parallelism; results
+// are bit-identical for every worker count), and -stats prints the path
+// cache counters after the run.
 package main
 
 import (
@@ -24,12 +28,15 @@ import (
 func main() {
 	var meshSpec string
 	var wheel int
-	var multipath bool
-	var detour int
+	var multipath, batch, stats bool
+	var detour, workers int
 	flag.StringVar(&meshSpec, "mesh", "4x4", "mesh dimensions WxH")
 	flag.IntVar(&wheel, "wheel", 16, "TDM slot-table size")
 	flag.BoolVar(&multipath, "multipath", false, "allow splitting connections over multiple paths")
 	flag.IntVar(&detour, "detour", 0, "maximum detour links beyond shortest path")
+	flag.BoolVar(&batch, "batch", false, "admit all requests as one batch through the parallel admission engine")
+	flag.IntVar(&workers, "workers", 0, "batch what-if evaluation workers (0 = one per CPU)")
+	flag.BoolVar(&stats, "stats", false, "print path cache statistics after the run")
 	flag.Parse()
 
 	var w, h int
@@ -42,18 +49,30 @@ func main() {
 	}
 	a := alloc.New(m.Graph, wheel)
 
-	t := report.NewTable(fmt.Sprintf("Slot allocation on a %dx%d mesh, %d slots", w, h, wheel),
-		"Request", "Status", "Paths", "Injection slots")
+	opts := alloc.Options{Multipath: multipath, MaxDetour: detour}
+	type request struct {
+		arg      string
+		src, dst topology.NodeID
+		slots    int
+	}
+	reqs := make([]request, 0, flag.NArg())
 	for _, arg := range flag.Args() {
 		var sx, sy, dx, dy, ns int
 		if _, err := fmt.Sscanf(arg, "%d,%d-%d,%d:%d", &sx, &sy, &dx, &dy, &ns); err != nil {
 			fatal("bad request %q (want sx,sy-dx,dy:slots): %v", arg, err)
 		}
-		src, dst := m.NI(sx, sy, 0), m.NI(dx, dy, 0)
-		u, err := a.Unicast(src, dst, ns, alloc.Options{Multipath: multipath, MaxDetour: detour})
+		reqs = append(reqs, request{arg: arg, src: m.NI(sx, sy, 0), dst: m.NI(dx, dy, 0), slots: ns})
+	}
+
+	title := fmt.Sprintf("Slot allocation on a %dx%d mesh, %d slots", w, h, wheel)
+	if batch {
+		title += fmt.Sprintf(" (batch, workers=%d)", workers)
+	}
+	t := report.NewTable(title, "Request", "Status", "Paths", "Injection slots")
+	addRow := func(arg string, u *alloc.Unicast, err error) {
 		if err != nil {
 			t.AddRow(arg, "FAILED: "+err.Error(), "-", "-")
-			continue
+			return
 		}
 		var paths, slotCols []string
 		for _, pa := range u.Paths {
@@ -66,6 +85,29 @@ func main() {
 		}
 		t.AddRow(arg, "ok", strings.Join(paths, " | "), strings.Join(slotCols, " | "))
 	}
+	if batch {
+		items := make([]alloc.BatchItem, len(reqs))
+		for i, r := range reqs {
+			items[i] = alloc.BatchItem{Reqs: []alloc.Request{
+				{Src: r.src, Dst: r.dst, Slots: r.slots, Opts: opts},
+			}}
+		}
+		results, bs := a.Batch(items, workers)
+		for i, r := range reqs {
+			if results[i].Err != nil {
+				addRow(r.arg, nil, results[i].Err)
+				continue
+			}
+			addRow(r.arg, results[i].Alloc.Unicasts[0], nil)
+		}
+		fmt.Printf("batch: %d items, %d committed, %d failed, %d conflicts re-evaluated, %d workers\n\n",
+			bs.Items, bs.Committed, bs.Failed, bs.Conflicts, bs.Workers)
+	} else {
+		for _, r := range reqs {
+			u, err := a.Unicast(r.src, r.dst, r.slots, opts)
+			addRow(r.arg, u, err)
+		}
+	}
 	fmt.Println(t.Render())
 
 	occ := report.NewTable("Link occupancy (used slots)", "Link", "Slots")
@@ -77,6 +119,12 @@ func main() {
 		occ.AddRow(fmt.Sprintf("%s->%s", m.Node(l.From).Name, m.Node(l.To).Name), fmt.Sprint(mask.Slots()))
 	}
 	fmt.Println(occ.Render())
+
+	if stats {
+		cs := a.CacheStats()
+		fmt.Printf("path cache: %d hits, %d misses, %d invalidations, %d truncations\n",
+			cs.Hits, cs.Misses, cs.Invalidations, cs.Truncations)
+	}
 }
 
 func fatal(format string, args ...interface{}) {

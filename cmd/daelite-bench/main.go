@@ -17,6 +17,7 @@ import (
 	"os"
 	"os/exec"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -31,20 +32,49 @@ import (
 )
 
 func main() {
-	var which, outPath string
+	var which, outPath, cpuProfile, memProfile string
 	var listOnly, jsonOut bool
 	var workers int
-	flag.StringVar(&which, "experiment", "", "run only the experiment with this ID (E1..E16, A1..A9) or artifact substring")
+	flag.StringVar(&which, "experiment", "", "run only the experiment with this ID (E1..E17, A1..A9) or artifact substring")
 	flag.BoolVar(&listOnly, "list", false, "list experiments without running them")
 	flag.StringVar(&outPath, "o", "", "also write the output to this file (with -json: the snapshot path)")
 	flag.BoolVar(&jsonOut, "json", false, "emit a BENCH_<rev>.json machine-readable snapshot instead of tables")
 	flag.IntVar(&workers, "workers", 0, "simulation kernel workers for experiment platforms (0 = one per CPU, 1 = sequential)")
+	flag.StringVar(&cpuProfile, "cpuprofile", "", "write a CPU profile of the run to this file")
+	flag.StringVar(&memProfile, "memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
 	experiments.SetWorkers(workers)
 
 	if listOnly {
 		list()
 		return
+	}
+	if cpuProfile != "" {
+		f, err := os.Create(cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if memProfile != "" {
+		defer func() {
+			f, err := os.Create(memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+			}
+		}()
 	}
 	if jsonOut {
 		if err := writeJSON(outPath); err != nil {
@@ -65,11 +95,20 @@ func main() {
 		out = io.MultiWriter(os.Stdout, f)
 	}
 
-	// E16's cycles/sec numbers are wall-clock and machine-dependent, so it
-	// is excluded from the default (golden) run and only appears when
-	// asked for by name.
+	// E16's and E17's throughput numbers are wall-clock and
+	// machine-dependent, so they are excluded from the default (golden)
+	// run and only appear when asked for by name.
 	if which != "" && wantsScaling(which) {
 		r, err := experiments.ScalingThroughput()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		printResult(out, r)
+		return
+	}
+	if which != "" && wantsAdmission(which) {
+		r, err := experiments.AdmissionThroughput()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
@@ -94,6 +133,11 @@ func main() {
 func wantsScaling(which string) bool {
 	w := strings.ToLower(which)
 	return strings.EqualFold(which, "E16") || strings.Contains("parallel kernel scaling", w)
+}
+
+func wantsAdmission(which string) bool {
+	w := strings.ToLower(which)
+	return strings.EqualFold(which, "E17") || strings.Contains("batch admission throughput", w)
 }
 
 func printResult(out io.Writer, r *experiments.Result) {
@@ -130,6 +174,7 @@ func list() {
 	fmt.Println("E14  attained vs reserved bandwidth under saturation")
 	fmt.Println("E15  repair latency under a link failure (chaos)")
 	fmt.Println("E16  parallel kernel scaling (cycles/sec vs mesh size vs workers; not in golden output)")
+	fmt.Println("E17  batch admission throughput (set-ups/sec vs mesh size vs workers; not in golden output)")
 	fmt.Println("A1   ablation: TDM wheel size")
 	fmt.Println("A2   ablation: configuration cool-down")
 	fmt.Println("A3   ablation: host placement / tree depth")
@@ -292,6 +337,28 @@ func writeJSON(outPath string) error {
 		bm.Sim.Shutdown()
 	}
 
+	// Admission engine: the sequential churn workload (the allocator hot
+	// path end to end) and the parallel batch engine, mirroring the
+	// BenchmarkAlloc* benchmarks in internal/alloc.
+	churnOp, err := experiments.AllocChurnOp()
+	if err != nil {
+		return err
+	}
+	f.Benchmarks["BenchmarkAllocChurn"] = benchfmt.Entry{NsPerOp: measure(churnOp)}
+	for _, ab := range []struct {
+		name    string
+		workers int
+	}{
+		{"BenchmarkAllocBatch", 1},
+		{"BenchmarkAllocBatchPar", 0},
+	} {
+		op, err := experiments.AllocBatchOp(ab.workers)
+		if err != nil {
+			return err
+		}
+		f.Benchmarks[ab.name] = benchfmt.Entry{NsPerOp: measure(op)}
+	}
+
 	// Experiments: one timed regeneration each, headline metrics attached.
 	results, err := timedExperiments()
 	if err != nil {
@@ -308,6 +375,15 @@ func writeJSON(outPath string) error {
 	f.Benchmarks[e16.ID] = benchfmt.Entry{
 		NsPerOp: float64(time.Since(e16Start).Nanoseconds()),
 		Metrics: e16.Metrics,
+	}
+	e17Start := time.Now()
+	e17, err := experiments.AdmissionThroughput()
+	if err != nil {
+		return err
+	}
+	f.Benchmarks[e17.ID] = benchfmt.Entry{
+		NsPerOp: float64(time.Since(e17Start).Nanoseconds()),
+		Metrics: e17.Metrics,
 	}
 
 	if outPath == "" {

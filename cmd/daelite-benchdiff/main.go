@@ -25,9 +25,10 @@ import (
 
 // defaultGate covers the kernel and platform micro-benchmarks the CI
 // perf job guards: BenchmarkPlatformCycle and its Telemetry variant (the
-// pair that bounds observability overhead), BenchmarkKernelStep* and
-// BenchmarkBigMesh*.
-const defaultGate = `^Benchmark(PlatformCycle|KernelStep|BigMesh)`
+// pair that bounds observability overhead), BenchmarkKernelStep*,
+// BenchmarkBigMesh*, and the admission-engine BenchmarkAlloc* set (churn
+// and batch set-up throughput).
+const defaultGate = `^Benchmark(PlatformCycle|KernelStep|BigMesh|Alloc)`
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))

@@ -16,6 +16,13 @@
 // bandwidth gain the paper cites from [29]), and multicast trees (shared
 // prefixes reserve each link once; forks replicate data at no extra slot
 // cost on the shared segments).
+//
+// The admission hot path is engineered for throughput: occupancy lives in
+// flat slices indexed by link/node ID (no map lookups), simple-path
+// enumeration is memoized in a generation-invalidated cache shared by
+// clones, and transactional flows (multipath, use-cases) run on an
+// undo-journal instead of deep clones, so an aborted what-if costs O(its
+// own writes) rather than O(network).
 package alloc
 
 import (
@@ -32,80 +39,219 @@ type Allocator struct {
 	g     *topology.Graph
 	wheel int
 
-	linkOcc map[topology.LinkID]slots.Mask
-	niTX    map[topology.NodeID]slots.Mask
-	niRX    map[topology.NodeID]slots.Mask
+	// Occupancy bit masks (wheel bits each), indexed by LinkID/NodeID.
+	// Slices may lag the graph; reads beyond their length see an empty
+	// mask and writes grow them on demand.
+	linkOcc []uint64
+	niTX    []uint64
+	niRX    []uint64
 
 	// excluded links carry no new allocations (existing reservations are
 	// untouched): the online-repair flow marks failed links here and
-	// re-allocates affected connections around them.
-	excluded map[topology.LinkID]bool
+	// re-allocates affected connections around them. numExcluded lets
+	// the path filter skip entirely in the common all-links-good case.
+	excluded    []bool
+	numExcluded int
+
+	// gen identifies the current exclusion set in the shared path cache:
+	// 0 means "nothing excluded"; every exclusion change takes a fresh
+	// globally-unique generation so stale cached path sets can never be
+	// served (see cache.go).
+	gen   uint64
+	cache *pathCache
+
+	// journal is the undo log of the transaction in flight (txdepth > 0):
+	// every occupancy write records the previous word, so an abort rolls
+	// back in O(writes). Transactions nest (a multipath unicast inside a
+	// use-case); the journal is dropped when the outermost commits.
+	journal []undo
+	txdepth int
 }
+
+// undo is one journal record: which occupancy word held prev before the
+// write.
+type undo struct {
+	kind uint8 // uLink, uTX, uRX
+	idx  int32
+	prev uint64
+}
+
+const (
+	uLink uint8 = iota
+	uTX
+	uRX
+)
 
 // New returns an empty allocator over g with the given slot-wheel size.
 func New(g *topology.Graph, wheel int) *Allocator {
 	return &Allocator{
 		g:        g,
 		wheel:    wheel,
-		linkOcc:  make(map[topology.LinkID]slots.Mask),
-		niTX:     make(map[topology.NodeID]slots.Mask),
-		niRX:     make(map[topology.NodeID]slots.Mask),
-		excluded: make(map[topology.LinkID]bool),
+		linkOcc:  make([]uint64, g.NumLinks()),
+		niTX:     make([]uint64, g.NumNodes()),
+		niRX:     make([]uint64, g.NumNodes()),
+		excluded: make([]bool, g.NumLinks()),
+		cache:    newPathCache(),
 	}
 }
 
 // Wheel returns the slot-wheel size.
 func (a *Allocator) Wheel() int { return a.wheel }
 
+// beginTxn opens a (possibly nested) transaction and returns its journal
+// mark.
+func (a *Allocator) beginTxn() int {
+	a.txdepth++
+	return len(a.journal)
+}
+
+// commitTxn closes the transaction opened at mark; the journal is dropped
+// when the outermost level commits.
+func (a *Allocator) commitTxn() {
+	a.txdepth--
+	if a.txdepth == 0 {
+		a.journal = a.journal[:0]
+	}
+}
+
+// abortTxn rolls every write since mark back in reverse order and closes
+// the transaction level.
+func (a *Allocator) abortTxn(mark int) {
+	for i := len(a.journal) - 1; i >= mark; i-- {
+		u := a.journal[i]
+		switch u.kind {
+		case uLink:
+			a.linkOcc[u.idx] = u.prev
+		case uTX:
+			a.niTX[u.idx] = u.prev
+		case uRX:
+			a.niRX[u.idx] = u.prev
+		}
+	}
+	a.journal = a.journal[:mark]
+	a.txdepth--
+}
+
+// grow extends s with zero words so index i is addressable.
+func grow(s []uint64, i int) []uint64 {
+	for len(s) <= i {
+		s = append(s, 0)
+	}
+	return s
+}
+
+func (a *Allocator) linkBits(l topology.LinkID) uint64 {
+	if int(l) >= len(a.linkOcc) {
+		return 0
+	}
+	return a.linkOcc[l]
+}
+
+func (a *Allocator) txBits(n topology.NodeID) uint64 {
+	if int(n) >= len(a.niTX) {
+		return 0
+	}
+	return a.niTX[n]
+}
+
+func (a *Allocator) rxBits(n topology.NodeID) uint64 {
+	if int(n) >= len(a.niRX) {
+		return 0
+	}
+	return a.niRX[n]
+}
+
+func (a *Allocator) setLinkBits(l topology.LinkID, bits uint64) {
+	a.linkOcc = grow(a.linkOcc, int(l))
+	if a.txdepth > 0 {
+		a.journal = append(a.journal, undo{uLink, int32(l), a.linkOcc[l]})
+	}
+	a.linkOcc[l] = bits
+}
+
+func (a *Allocator) setTXBits(n topology.NodeID, bits uint64) {
+	a.niTX = grow(a.niTX, int(n))
+	if a.txdepth > 0 {
+		a.journal = append(a.journal, undo{uTX, int32(n), a.niTX[n]})
+	}
+	a.niTX[n] = bits
+}
+
+func (a *Allocator) setRXBits(n topology.NodeID, bits uint64) {
+	a.niRX = grow(a.niRX, int(n))
+	if a.txdepth > 0 {
+		a.journal = append(a.journal, undo{uRX, int32(n), a.niRX[n]})
+	}
+	a.niRX[n] = bits
+}
+
 // ExcludeLink bars link l from all future allocations (fault isolation).
 // Slots already reserved on l stay accounted until their connections are
 // released.
-func (a *Allocator) ExcludeLink(l topology.LinkID) { a.excluded[l] = true }
+func (a *Allocator) ExcludeLink(l topology.LinkID) {
+	for len(a.excluded) <= int(l) {
+		a.excluded = append(a.excluded, false)
+	}
+	if a.excluded[l] {
+		return
+	}
+	a.excluded[l] = true
+	a.numExcluded++
+	a.gen = a.cache.bumpGen()
+}
 
 // IncludeLink lifts an exclusion (the link was repaired).
-func (a *Allocator) IncludeLink(l topology.LinkID) { delete(a.excluded, l) }
+func (a *Allocator) IncludeLink(l topology.LinkID) {
+	if int(l) >= len(a.excluded) || !a.excluded[l] {
+		return
+	}
+	a.excluded[l] = false
+	a.numExcluded--
+	if a.numExcluded == 0 {
+		a.gen = 0
+	} else {
+		a.gen = a.cache.bumpGen()
+	}
+}
 
 // ExcludedLinks returns the currently excluded links in ID order.
 func (a *Allocator) ExcludedLinks() []topology.LinkID {
-	out := make([]topology.LinkID, 0, len(a.excluded))
-	for l := range a.excluded {
-		out = append(out, l)
+	out := make([]topology.LinkID, 0, a.numExcluded)
+	for l, bad := range a.excluded {
+		if bad {
+			out = append(out, topology.LinkID(l))
+		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
-// usable reports whether a path avoids every excluded link.
+// avoidSet returns the dense excluded-link set for routing queries, nil
+// when nothing is excluded.
+func (a *Allocator) avoidSet() []bool {
+	if a.numExcluded == 0 {
+		return nil
+	}
+	return a.excluded
+}
+
+// usable reports whether a path avoids every excluded link. The empty
+// exclusion set — the steady state outside repair windows — is answered
+// without touching the path.
 func (a *Allocator) usable(p topology.Path) bool {
+	if a.numExcluded == 0 {
+		return true
+	}
 	for _, l := range p {
-		if a.excluded[l] {
+		if int(l) < len(a.excluded) && a.excluded[l] {
 			return false
 		}
 	}
 	return true
 }
 
-func (a *Allocator) occ(m map[topology.LinkID]slots.Mask, k topology.LinkID) slots.Mask {
-	if v, ok := m[k]; ok {
-		return v
-	}
-	return slots.NewMask(a.wheel)
-}
-
-func (a *Allocator) nodeOcc(m map[topology.NodeID]slots.Mask, k topology.NodeID) slots.Mask {
-	if v, ok := m[k]; ok {
-		return v
-	}
-	return slots.NewMask(a.wheel)
-}
-
 // LinkOccupancy returns the mask of used slots on link l.
-func (a *Allocator) LinkOccupancy(l topology.LinkID) slots.Mask { return a.occ(a.linkOcc, l) }
-
-// free returns the free-slot mask of a link.
-func (a *Allocator) freeLink(l topology.LinkID) slots.Mask {
-	used := a.occ(a.linkOcc, l)
-	return slots.Mask{Bits: ^used.Bits & wheelBits(a.wheel), Size: a.wheel}
+func (a *Allocator) LinkOccupancy(l topology.LinkID) slots.Mask {
+	return slots.Mask{Bits: a.linkBits(l), Size: a.wheel}
 }
 
 func wheelBits(n int) uint64 {
@@ -121,20 +267,20 @@ func wheelBits(n int) uint64 {
 // stage of preceding links), the source NI's table is free at s, and the
 // destination NI's table is free at the path's total slot advance.
 func (a *Allocator) CandidateSlots(path topology.Path) slots.Mask {
-	cand := slots.Mask{Bits: wheelBits(a.wheel), Size: a.wheel}
 	if len(path) == 0 {
 		return slots.NewMask(a.wheel)
 	}
+	wb := wheelBits(a.wheel)
 	src := a.g.Link(path[0]).From
 	dst := a.g.Link(path[len(path)-1]).To
-	srcFree := slots.Mask{Bits: ^a.nodeOcc(a.niTX, src).Bits & wheelBits(a.wheel), Size: a.wheel}
-	cand = cand.Intersect(srcFree)
+	cand := slots.Mask{Bits: ^a.txBits(src) & wb, Size: a.wheel}
 	off := 0
 	for _, l := range path {
-		cand = cand.Intersect(a.freeLink(l).RotateDown(off))
+		free := slots.Mask{Bits: ^a.linkBits(l) & wb, Size: a.wheel}
+		cand = cand.Intersect(free.RotateDown(off))
 		off += a.g.SlotAdvance(l)
 	}
-	dstFree := slots.Mask{Bits: ^a.nodeOcc(a.niRX, dst).Bits & wheelBits(a.wheel), Size: a.wheel}
+	dstFree := slots.Mask{Bits: ^a.rxBits(dst) & wb, Size: a.wheel}
 	cand = cand.Intersect(dstFree.RotateDown(off))
 	return cand
 }
@@ -180,6 +326,13 @@ type Options struct {
 	// shortest (default 0: shortest paths only; multipath benefits from
 	// 2).
 	MaxDetour int
+	// MaxEnumPaths bounds how many simple paths are enumerated (and
+	// cached) per (src, dst, detour) before exclusion filtering and
+	// MaxPaths selection (default 64, the historical hard cap). When the
+	// bound drops candidates the allocator counts a truncation in its
+	// cache stats, surfaced through telemetry, so an ErrNoCapacity
+	// caused by truncation is diagnosable.
+	MaxEnumPaths int
 	// Spread selects slots spaced as evenly as possible around the
 	// wheel instead of the lowest free ones, minimizing the worst-case
 	// scheduling latency (the wait for the next owned slot). Used by
@@ -193,6 +346,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxDetour < 0 {
 		o.MaxDetour = 0
+	}
+	if o.MaxEnumPaths <= 0 {
+		o.MaxEnumPaths = 64
 	}
 	return o
 }
@@ -217,20 +373,11 @@ func (a *Allocator) Unicast(src, dst topology.NodeID, nslots int, opts Options) 
 		return nil, fmt.Errorf("alloc: source and destination NI are the same")
 	}
 	opts = opts.withDefaults()
-	min := a.g.DistanceAvoiding(src, dst, a.excluded)
+	min := a.cachedDistance(src, dst)
 	if min < 0 {
-		return nil, fmt.Errorf("alloc: no path from %d to %d avoiding %d excluded links", src, dst, len(a.excluded))
+		return nil, fmt.Errorf("alloc: no path from %d to %d avoiding %d excluded links", src, dst, a.numExcluded)
 	}
-	paths := a.g.SimplePaths(src, dst, min+opts.MaxDetour, 64)
-	if len(a.excluded) > 0 {
-		kept := paths[:0]
-		for _, p := range paths {
-			if a.usable(p) {
-				kept = append(kept, p)
-			}
-		}
-		paths = kept
-	}
+	paths := a.cachedPaths(src, dst, min+opts.MaxDetour, opts.MaxEnumPaths)
 	if len(paths) > opts.MaxPaths {
 		paths = paths[:opts.MaxPaths]
 	}
@@ -258,31 +405,32 @@ func (a *Allocator) Unicast(src, dst topology.NodeID, nslots int, opts Options) 
 	}
 
 	// Multipath: take slots greedily path by path (shortest first). The
-	// source NI can inject each slot on only one path, so claimed
-	// injection slots are excluded from later candidates via the NI TX
-	// table updates done by commit; within this loop we track them
-	// locally.
+	// source NI can inject each slot on only one path, so committing each
+	// path before computing the next candidate mask excludes claimed
+	// injection slots automatically; the journal undoes everything if the
+	// demand cannot be met in full.
+	mark := a.beginTxn()
 	u := &Unicast{Src: src, Dst: dst}
 	remaining := nslots
-	clone := a.Clone()
 	for _, p := range paths {
 		if remaining == 0 {
 			break
 		}
-		cand := clone.CandidateSlots(p)
+		cand := a.CandidateSlots(p)
 		if cand.Empty() {
 			continue
 		}
 		take := firstN(cand, remaining)
 		pa := PathAlloc{Path: p, InjectSlots: take}
-		clone.commitUnicast(&Unicast{Src: src, Dst: dst, Paths: []PathAlloc{pa}})
+		a.commitUnicast(&Unicast{Src: src, Dst: dst, Paths: []PathAlloc{pa}})
 		u.Paths = append(u.Paths, pa)
 		remaining -= take.Count()
 	}
 	if remaining > 0 {
+		a.abortTxn(mark)
 		return nil, ErrNoCapacity{Want: nslots, Got: nslots - remaining}
 	}
-	a.adopt(clone)
+	a.commitTxn()
 	return u, nil
 }
 
@@ -371,65 +519,54 @@ func worstGapSlots(m slots.Mask) int {
 // commitUnicast marks the allocation's slots as used.
 func (a *Allocator) commitUnicast(u *Unicast) {
 	for _, pa := range u.Paths {
-		a.niTX[u.Src] = a.nodeOcc(a.niTX, u.Src).Union(pa.InjectSlots)
+		a.setTXBits(u.Src, a.txBits(u.Src)|pa.InjectSlots.Bits)
 		off := 0
 		for _, l := range pa.Path {
-			a.linkOcc[l] = a.occ(a.linkOcc, l).Union(pa.InjectSlots.RotateUp(off))
+			a.setLinkBits(l, a.linkBits(l)|pa.InjectSlots.RotateUp(off).Bits)
 			off += a.g.SlotAdvance(l)
 		}
-		a.niRX[u.Dst] = a.nodeOcc(a.niRX, u.Dst).Union(pa.InjectSlots.RotateUp(off))
+		a.setRXBits(u.Dst, a.rxBits(u.Dst)|pa.InjectSlots.RotateUp(off).Bits)
 	}
 }
 
 // ReleaseUnicast returns an allocation's slots to the pool.
 func (a *Allocator) ReleaseUnicast(u *Unicast) {
 	for _, pa := range u.Paths {
-		a.niTX[u.Src] = maskMinus(a.nodeOcc(a.niTX, u.Src), pa.InjectSlots)
+		a.setTXBits(u.Src, a.txBits(u.Src)&^pa.InjectSlots.Bits)
 		off := 0
 		for _, l := range pa.Path {
-			a.linkOcc[l] = maskMinus(a.occ(a.linkOcc, l), pa.InjectSlots.RotateUp(off))
+			a.setLinkBits(l, a.linkBits(l)&^pa.InjectSlots.RotateUp(off).Bits)
 			off += a.g.SlotAdvance(l)
 		}
-		a.niRX[u.Dst] = maskMinus(a.nodeOcc(a.niRX, u.Dst), pa.InjectSlots.RotateUp(off))
+		a.setRXBits(u.Dst, a.rxBits(u.Dst)&^pa.InjectSlots.RotateUp(off).Bits)
 	}
 }
 
-func maskMinus(a, b slots.Mask) slots.Mask {
-	a.Bits &^= b.Bits
-	return a
-}
-
-// Clone deep-copies the allocator state (what-if evaluation).
+// Clone copies the allocator state (what-if evaluation, batch snapshots).
+// The copy shares the graph and the path cache — both safe for concurrent
+// readers — so cloning is a few slice copies, independent of how many
+// connections are live.
 func (a *Allocator) Clone() *Allocator {
-	c := New(a.g, a.wheel)
-	for k, v := range a.linkOcc {
-		c.linkOcc[k] = v
-	}
-	for k, v := range a.niTX {
-		c.niTX[k] = v
-	}
-	for k, v := range a.niRX {
-		c.niRX[k] = v
-	}
-	for k := range a.excluded {
-		c.excluded[k] = true
+	c := &Allocator{
+		g:           a.g,
+		wheel:       a.wheel,
+		linkOcc:     append([]uint64(nil), a.linkOcc...),
+		niTX:        append([]uint64(nil), a.niTX...),
+		niRX:        append([]uint64(nil), a.niRX...),
+		excluded:    append([]bool(nil), a.excluded...),
+		numExcluded: a.numExcluded,
+		gen:         a.gen,
+		cache:       a.cache,
 	}
 	return c
-}
-
-// adopt replaces a's state with c's (after successful what-if commits).
-func (a *Allocator) adopt(c *Allocator) {
-	a.linkOcc = c.linkOcc
-	a.niTX = c.niTX
-	a.niRX = c.niRX
 }
 
 // TotalSlotsUsed sums reserved (link, slot) pairs, a load metric for
 // experiments.
 func (a *Allocator) TotalSlotsUsed() int {
 	n := 0
-	for _, m := range a.linkOcc {
-		n += m.Count()
+	for _, bits := range a.linkOcc {
+		n += slots.Mask{Bits: bits, Size: a.wheel}.Count()
 	}
 	return n
 }
@@ -480,7 +617,7 @@ func (a *Allocator) Multicast(src topology.NodeID, dsts []topology.NodeID, nslot
 	order := make([]topology.NodeID, len(dsts))
 	copy(order, dsts)
 	sort.Slice(order, func(i, j int) bool {
-		di, dj := a.g.Distance(src, order[i]), a.g.Distance(src, order[j])
+		di, dj := a.cachedPlainDistance(src, order[i]), a.cachedPlainDistance(src, order[j])
 		if di != dj {
 			return di < dj
 		}
@@ -505,7 +642,7 @@ func (a *Allocator) Multicast(src topology.NodeID, dsts []topology.NodeID, nslot
 			if a.g.Node(from).Kind == topology.NI && from != src {
 				continue // cannot route through an NI
 			}
-			p := a.g.ShortestPathAvoiding(from, d, a.excluded)
+			p := a.cachedShortestPath(from, d)
 			if p == nil {
 				continue
 			}
@@ -536,12 +673,14 @@ func (a *Allocator) Multicast(src topology.NodeID, dsts []topology.NodeID, nslot
 
 	// Candidate injection slots: every tree link free at its depth, the
 	// source table free, every destination table free at its depth.
-	cand := slots.Mask{Bits: ^a.nodeOcc(a.niTX, src).Bits & wheelBits(a.wheel), Size: a.wheel}
+	wb := wheelBits(a.wheel)
+	cand := slots.Mask{Bits: ^a.txBits(src) & wb, Size: a.wheel}
 	for _, e := range edges {
-		cand = cand.Intersect(a.freeLink(e.Link).RotateDown(e.Depth))
+		free := slots.Mask{Bits: ^a.linkBits(e.Link) & wb, Size: a.wheel}
+		cand = cand.Intersect(free.RotateDown(e.Depth))
 	}
 	for d, dep := range destDepth {
-		free := slots.Mask{Bits: ^a.nodeOcc(a.niRX, d).Bits & wheelBits(a.wheel), Size: a.wheel}
+		free := slots.Mask{Bits: ^a.rxBits(d) & wb, Size: a.wheel}
 		cand = cand.Intersect(free.RotateDown(dep))
 	}
 	if cand.Count() < nslots {
@@ -559,32 +698,35 @@ func (a *Allocator) Multicast(src topology.NodeID, dsts []topology.NodeID, nslot
 }
 
 func (a *Allocator) commitMulticast(m *Multicast) {
-	a.niTX[m.Src] = a.nodeOcc(a.niTX, m.Src).Union(m.InjectSlots)
+	a.setTXBits(m.Src, a.txBits(m.Src)|m.InjectSlots.Bits)
 	for _, e := range m.Edges {
-		a.linkOcc[e.Link] = a.occ(a.linkOcc, e.Link).Union(m.InjectSlots.RotateUp(e.Depth))
+		a.setLinkBits(e.Link, a.linkBits(e.Link)|m.InjectSlots.RotateUp(e.Depth).Bits)
 	}
 	for d, dep := range m.DestDepth {
-		a.niRX[d] = a.nodeOcc(a.niRX, d).Union(m.InjectSlots.RotateUp(dep))
+		a.setRXBits(d, a.rxBits(d)|m.InjectSlots.RotateUp(dep).Bits)
 	}
 }
 
 // ReleaseMulticast returns a tree's slots to the pool.
 func (a *Allocator) ReleaseMulticast(m *Multicast) {
-	a.niTX[m.Src] = maskMinus(a.nodeOcc(a.niTX, m.Src), m.InjectSlots)
+	a.setTXBits(m.Src, a.txBits(m.Src)&^m.InjectSlots.Bits)
 	for _, e := range m.Edges {
-		a.linkOcc[e.Link] = maskMinus(a.occ(a.linkOcc, e.Link), m.InjectSlots.RotateUp(e.Depth))
+		a.setLinkBits(e.Link, a.linkBits(e.Link)&^m.InjectSlots.RotateUp(e.Depth).Bits)
 	}
 	for d, dep := range m.DestDepth {
-		a.niRX[d] = maskMinus(a.nodeOcc(a.niRX, d), m.InjectSlots.RotateUp(dep))
+		a.setRXBits(d, a.rxBits(d)&^m.InjectSlots.RotateUp(dep).Bits)
 	}
 }
 
 // Verify checks the global contention-free invariant from scratch given
 // all live allocations; it returns an error naming the first violation.
-// Used by property tests (experiment E11).
+// Used by property tests (experiment E11) and the fuzz target.
 func Verify(g *topology.Graph, wheel int, unicasts []*Unicast, multicasts []*Multicast) error {
 	linkUse := make(map[topology.LinkID]slots.Mask)
 	claim := func(l topology.LinkID, m slots.Mask) error {
+		if m.Size != wheel {
+			return fmt.Errorf("alloc: link %d claimed with wheel %d, allocator wheel %d", l, m.Size, wheel)
+		}
 		cur, ok := linkUse[l]
 		if !ok {
 			cur = slots.NewMask(wheel)

@@ -154,9 +154,9 @@ func TestMultipathBeatsSinglePath(t *testing.T) {
 				continue
 			}
 			if i == 0 {
-				a.linkOcc[l] = slots.MaskOf(wheel, 0, 1, 2, 3, 4, 5)
+				a.setLinkBits(l, slots.MaskOf(wheel, 0, 1, 2, 3, 4, 5).Bits)
 			} else {
-				a.linkOcc[l] = slots.MaskOf(wheel, 2, 3, 4, 5, 6, 7)
+				a.setLinkBits(l, slots.MaskOf(wheel, 2, 3, 4, 5, 6, 7).Bits)
 			}
 			i++
 		}

@@ -1,0 +1,180 @@
+package alloc
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"daelite/internal/sim"
+	"daelite/internal/topology"
+)
+
+func batchMesh(t *testing.T) *topology.Mesh {
+	t.Helper()
+	m, err := topology.NewMesh(topology.MeshSpec{Width: 8, Height: 8, NIsPerRouter: 1, Wrap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// batchFingerprint folds one batch run's full outcome — per-item success,
+// paths, injection slots, re-evaluation flags — into a comparable string.
+func batchFingerprint(results []BatchResult) string {
+	s := ""
+	for i, r := range results {
+		if r.Err != nil {
+			s += fmt.Sprintf("%d:ERR;", i)
+			continue
+		}
+		s += fmt.Sprintf("%d:", i)
+		if r.Reevaluated {
+			s += "re:"
+		}
+		for _, u := range r.Alloc.Unicasts {
+			for _, pa := range u.Paths {
+				s += fmt.Sprintf("%v@%x,", pa.Path, pa.InjectSlots.Bits)
+			}
+		}
+		for _, mc := range r.Alloc.Multicasts {
+			s += fmt.Sprintf("mc%v@%x,", mc.Edges, mc.InjectSlots.Bits)
+		}
+		s += ";"
+	}
+	return s
+}
+
+// mixedBatch builds a deliberately conflict-heavy item list: many items
+// share sources and destinations so parallel what-if proposals collide and
+// the commit phase must re-evaluate.
+func mixedBatch(m *topology.Mesh, rng *sim.RNG, n int) []BatchItem {
+	items := make([]BatchItem, n)
+	for i := range items {
+		sx, sy := rng.Intn(4), rng.Intn(4) // cramped corner: high contention
+		dx, dy := (sx+1)%4, (sy+1+rng.Intn(2))%4
+		src, dst := m.NI(sx, sy, 0), m.NI(dx, dy, 0)
+		if i%5 == 4 {
+			d2 := m.NI((dx+1)%4, dy, 0)
+			if d2 != src && d2 != dst {
+				items[i] = BatchItem{Reqs: []Request{{Src: src, Dsts: []topology.NodeID{dst, d2}, Slots: 1}}}
+				continue
+			}
+		}
+		items[i] = BatchItem{Reqs: []Request{
+			{Src: src, Dst: dst, Slots: 1 + rng.Intn(2)},
+			{Src: dst, Dst: src, Slots: 1},
+		}}
+	}
+	return items
+}
+
+// TestBatchDeterministicAcrossWorkers is the batch engine's core
+// contract: identical results — bit for bit, including which items fail
+// and which are re-evaluated after conflicts — for every worker count.
+func TestBatchDeterministicAcrossWorkers(t *testing.T) {
+	m := batchMesh(t)
+	var want string
+	var wantOcc []uint64
+	for _, workers := range []int{1, 2, 4, runtime.NumCPU()} {
+		a := New(m.Graph, 8) // small wheel: force failures and conflicts
+		rng := sim.NewRNG(99)
+		var got string
+		for round := 0; round < 4; round++ {
+			results, stats := a.Batch(mixedBatch(m, rng, 24), workers)
+			got += batchFingerprint(results)
+			if stats.Items != 24 || stats.Committed+stats.Failed != 24 {
+				t.Fatalf("workers=%d round=%d: inconsistent stats %+v", workers, round, stats)
+			}
+		}
+		occ := make([]uint64, m.Graph.NumLinks())
+		for l := range occ {
+			occ[l] = a.linkBits(topology.LinkID(l))
+		}
+		if workers == 1 {
+			want, wantOcc = got, occ
+			continue
+		}
+		if got != want {
+			t.Fatalf("workers=%d results diverge from sequential:\n got %s\nwant %s", workers, got, want)
+		}
+		for l := range occ {
+			if occ[l] != wantOcc[l] {
+				t.Fatalf("workers=%d link %d occupancy %x, sequential %x", workers, l, occ[l], wantOcc[l])
+			}
+		}
+	}
+}
+
+// TestBatchMatchesSequentialAllocation checks Batch against the
+// single-item path: admitting items one at a time through AllocateUseCase
+// must produce the same allocations as one Batch call, since commit order
+// is item order.
+func TestBatchMatchesSequentialAllocation(t *testing.T) {
+	m := batchMesh(t)
+	rng := sim.NewRNG(7)
+	items := mixedBatch(m, rng, 32)
+
+	ab := New(m.Graph, 8)
+	results, _ := ab.Batch(items, 4)
+
+	as := New(m.Graph, 8)
+	for i, it := range items {
+		uc, err := as.AllocateUseCase(it.Reqs)
+		if (err == nil) != (results[i].Err == nil) {
+			t.Fatalf("item %d: sequential err=%v, batch err=%v", i, err, results[i].Err)
+		}
+		if err != nil {
+			continue
+		}
+		seq := batchFingerprint([]BatchResult{{Alloc: uc}})
+		bat := batchFingerprint([]BatchResult{{Alloc: results[i].Alloc}})
+		if seq != bat {
+			t.Fatalf("item %d allocation differs:\n seq   %s\n batch %s", i, seq, bat)
+		}
+	}
+	for l := 0; l < m.Graph.NumLinks(); l++ {
+		if ab.linkBits(topology.LinkID(l)) != as.linkBits(topology.LinkID(l)) {
+			t.Fatalf("link %d occupancy differs between batch and sequential", l)
+		}
+	}
+}
+
+// TestBatchVerifies runs a conflict-heavy batch and checks the committed
+// allocations uphold the global contention-free invariant.
+func TestBatchVerifies(t *testing.T) {
+	m := batchMesh(t)
+	a := New(m.Graph, 8)
+	rng := sim.NewRNG(3)
+	var liveU []*Unicast
+	var liveM []*Multicast
+	for round := 0; round < 3; round++ {
+		results, _ := a.Batch(mixedBatch(m, rng, 24), 0)
+		for _, r := range results {
+			if r.Err != nil {
+				continue
+			}
+			liveU = append(liveU, r.Alloc.Unicasts...)
+			liveM = append(liveM, r.Alloc.Multicasts...)
+		}
+	}
+	if len(liveU) == 0 {
+		t.Fatal("no batch item committed")
+	}
+	if err := Verify(m.Graph, 8, liveU, liveM); err != nil {
+		t.Fatalf("batch-committed allocations violate invariant: %v", err)
+	}
+}
+
+// TestBatchEmpty covers the trivial edges: no items, and a nil-request item.
+func TestBatchEmpty(t *testing.T) {
+	m := batchMesh(t)
+	a := New(m.Graph, 8)
+	results, stats := a.Batch(nil, 4)
+	if len(results) != 0 || stats.Items != 0 {
+		t.Fatalf("empty batch returned %d results, stats %+v", len(results), stats)
+	}
+	results, _ = a.Batch([]BatchItem{{}}, 1)
+	if results[0].Err == nil {
+		t.Fatal("empty item did not fail")
+	}
+}

@@ -1,0 +1,227 @@
+package alloc
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"daelite/internal/topology"
+)
+
+// pathCache memoizes the graph queries behind admission — simple-path
+// enumeration, shortest paths, and distances — so steady-state set-up does
+// zero graph search. It is shared by an allocator and all its clones
+// (batch workers read it concurrently under the lock).
+//
+// Invalidation is generation-based: every entry is keyed by the exclusion
+// generation it was computed under. Generation 0 means "no links
+// excluded" and is shared by every allocator in that state; each
+// ExcludeLink/IncludeLink takes a fresh generation from nextGen, so two
+// allocators whose exclusion sets diverged can never share an entry, and
+// entries for an abandoned exclusion set simply stop being referenced.
+// Stale generations are pruned on the next bump.
+type pathCache struct {
+	mu      sync.RWMutex
+	paths   map[pathKey]pathEntry
+	sp      map[spKey]topology.Path
+	dist    map[spKey]int
+	nextGen atomic.Uint64
+
+	hits          atomic.Uint64
+	misses        atomic.Uint64
+	invalidations atomic.Uint64
+	truncations   atomic.Uint64
+}
+
+// pathKey identifies one memoized SimplePaths enumeration: endpoint pair,
+// length bound, enumeration cap, and the exclusion generation the filter
+// ran under.
+type pathKey struct {
+	src, dst    topology.NodeID
+	maxLen, cap int
+	gen         uint64
+}
+
+type pathEntry struct {
+	// paths is sorted (shortest first, lexicographic), capped at
+	// pathKey.cap, and filtered to exclude generation gen's bad links.
+	// It is immutable and shared: callers must not modify it or the
+	// paths inside.
+	paths []topology.Path
+	// truncated records that the enumeration cap dropped candidates.
+	truncated bool
+}
+
+// spKey identifies a shortest-path or distance query under one exclusion
+// generation.
+type spKey struct {
+	src, dst topology.NodeID
+	gen      uint64
+}
+
+// maxCacheEntries bounds each memo map; when a map outgrows it the map is
+// reset (entries are recomputable, so this only costs latency).
+const maxCacheEntries = 1 << 16
+
+func newPathCache() *pathCache {
+	return &pathCache{
+		paths: make(map[pathKey]pathEntry),
+		sp:    make(map[spKey]topology.Path),
+		dist:  make(map[spKey]int),
+	}
+}
+
+// bumpGen takes a fresh globally-unique exclusion generation and prunes
+// entries of non-zero generations (they can only belong to exclusion sets
+// that are now unreachable or about to be superseded; generation-0
+// entries stay valid forever).
+func (c *pathCache) bumpGen() uint64 {
+	gen := c.nextGen.Add(1)
+	c.mu.Lock()
+	for k := range c.paths {
+		if k.gen != 0 {
+			delete(c.paths, k)
+			c.invalidations.Add(1)
+		}
+	}
+	for k := range c.sp {
+		if k.gen != 0 {
+			delete(c.sp, k)
+		}
+	}
+	for k := range c.dist {
+		if k.gen != 0 {
+			delete(c.dist, k)
+		}
+	}
+	c.mu.Unlock()
+	return gen
+}
+
+// CacheStats is a snapshot of the path cache counters, mirrored into the
+// telemetry registry by the platform harvest.
+type CacheStats struct {
+	Hits          uint64
+	Misses        uint64
+	Invalidations uint64
+	Truncations   uint64
+}
+
+// CacheStats returns the shared path cache counters.
+func (a *Allocator) CacheStats() CacheStats {
+	return CacheStats{
+		Hits:          a.cache.hits.Load(),
+		Misses:        a.cache.misses.Load(),
+		Invalidations: a.cache.invalidations.Load(),
+		Truncations:   a.cache.truncations.Load(),
+	}
+}
+
+// cachedPaths returns the memoized candidate path set from src to dst with
+// at most maxLen links: enumerated with cap, sorted, cap-truncated, then
+// filtered against the current exclusion set — exactly the historical
+// SimplePaths-then-filter pipeline. The result is shared and immutable.
+func (a *Allocator) cachedPaths(src, dst topology.NodeID, maxLen, cap int) []topology.Path {
+	c := a.cache
+	key := pathKey{src: src, dst: dst, maxLen: maxLen, cap: cap, gen: a.gen}
+	c.mu.RLock()
+	e, ok := c.paths[key]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+		if e.truncated {
+			c.truncations.Add(1)
+		}
+		return e.paths
+	}
+	c.misses.Add(1)
+	paths, truncated := a.g.SimplePathsCapped(src, dst, maxLen, cap)
+	if a.numExcluded > 0 {
+		kept := make([]topology.Path, 0, len(paths))
+		for _, p := range paths {
+			if a.usable(p) {
+				kept = append(kept, p)
+			}
+		}
+		paths = kept
+	}
+	if truncated {
+		c.truncations.Add(1)
+	}
+	c.mu.Lock()
+	if len(c.paths) >= maxCacheEntries {
+		c.paths = make(map[pathKey]pathEntry)
+	}
+	c.paths[key] = pathEntry{paths: paths, truncated: truncated}
+	c.mu.Unlock()
+	return paths
+}
+
+// cachedDistance returns the memoized minimum hop count from src to dst
+// avoiding the current exclusion set (-1 when unreachable).
+func (a *Allocator) cachedDistance(src, dst topology.NodeID) int {
+	c := a.cache
+	key := spKey{src: src, dst: dst, gen: a.gen}
+	c.mu.RLock()
+	d, ok := c.dist[key]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+		return d
+	}
+	c.misses.Add(1)
+	d = a.g.DistanceAvoidingDense(src, dst, a.avoidSet())
+	c.mu.Lock()
+	if len(c.dist) >= maxCacheEntries {
+		c.dist = make(map[spKey]int)
+	}
+	c.dist[key] = d
+	c.mu.Unlock()
+	return d
+}
+
+// cachedPlainDistance ignores exclusions (generation 0) — the multicast
+// destination ordering historically uses raw distances.
+func (a *Allocator) cachedPlainDistance(src, dst topology.NodeID) int {
+	c := a.cache
+	key := spKey{src: src, dst: dst, gen: 0}
+	c.mu.RLock()
+	d, ok := c.dist[key]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+		return d
+	}
+	c.misses.Add(1)
+	d = a.g.DistanceAvoidingDense(src, dst, nil)
+	c.mu.Lock()
+	if len(c.dist) >= maxCacheEntries {
+		c.dist = make(map[spKey]int)
+	}
+	c.dist[key] = d
+	c.mu.Unlock()
+	return d
+}
+
+// cachedShortestPath returns the memoized minimum-hop path from src to dst
+// avoiding the current exclusion set (nil when unreachable). The path is
+// shared and immutable.
+func (a *Allocator) cachedShortestPath(src, dst topology.NodeID) topology.Path {
+	c := a.cache
+	key := spKey{src: src, dst: dst, gen: a.gen}
+	c.mu.RLock()
+	p, ok := c.sp[key]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+		return p
+	}
+	c.misses.Add(1)
+	p = a.g.ShortestPathAvoidingDense(src, dst, a.avoidSet())
+	c.mu.Lock()
+	if len(c.sp) >= maxCacheEntries {
+		c.sp = make(map[spKey]topology.Path)
+	}
+	c.sp[key] = p
+	c.mu.Unlock()
+	return p
+}

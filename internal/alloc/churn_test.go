@@ -1,0 +1,129 @@
+package alloc
+
+import (
+	"testing"
+
+	"daelite/internal/sim"
+	"daelite/internal/topology"
+)
+
+// TestChurnStateEqualsReplay is the dense-state soundness property: after
+// an arbitrary interleaving of allocations, releases, aborted use-case
+// transactions and exclusion toggles, the allocator's occupancy must equal
+// a fresh allocator that simply commits the survivors. Any journal
+// misbookkeeping (a leaked undo entry, a partial abort) diverges the two.
+func TestChurnStateEqualsReplay(t *testing.T) {
+	m, err := topology.NewMesh(topology.MeshSpec{Width: 6, Height: 6, NIsPerRouter: 1, Wrap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const wheel = 16
+	a := New(m.Graph, wheel)
+	rng := sim.NewRNG(42)
+	var liveU []*Unicast
+	var liveM []*Multicast
+	var excluded []topology.LinkID
+
+	pick := func() (topology.NodeID, topology.NodeID) {
+		sx, sy := rng.Intn(6), rng.Intn(6)
+		dx := (sx + 1 + rng.Intn(3)) % 6
+		dy := (sy + rng.Intn(3)) % 6
+		return m.NI(sx, sy, 0), m.NI(dx, dy, 0)
+	}
+
+	for op := 0; op < 4000; op++ {
+		switch r := rng.Intn(20); {
+		case r < 8: // plain unicast
+			src, dst := pick()
+			if u, err := a.Unicast(src, dst, 1+rng.Intn(2), Options{}); err == nil {
+				liveU = append(liveU, u)
+			}
+		case r < 10: // multipath
+			src, dst := pick()
+			if u, err := a.Unicast(src, dst, 2, Options{Multipath: true, MaxDetour: 2}); err == nil {
+				liveU = append(liveU, u)
+			}
+		case r < 12: // multicast
+			src, d1 := pick()
+			_, d2 := pick()
+			if d1 == src || d2 == src || d1 == d2 {
+				continue
+			}
+			if mc, err := a.Multicast(src, []topology.NodeID{d1, d2}, 1); err == nil {
+				liveM = append(liveM, mc)
+			}
+		case r < 15: // use-case transaction; the second leg reuses the
+			// first's endpoints reversed, so aborts are common under load
+			s1, d1 := pick()
+			if uc, err := a.AllocateUseCase([]Request{
+				{Src: s1, Dst: d1, Slots: 2},
+				{Src: d1, Dst: s1, Slots: 2},
+			}); err == nil {
+				liveU = append(liveU, uc.Unicasts...)
+			}
+		case r < 17: // release
+			if len(liveU) > 0 && rng.Intn(2) == 0 {
+				i := rng.Intn(len(liveU))
+				a.ReleaseUnicast(liveU[i])
+				liveU[i] = liveU[len(liveU)-1]
+				liveU = liveU[:len(liveU)-1]
+			} else if len(liveM) > 0 {
+				i := rng.Intn(len(liveM))
+				a.ReleaseMulticast(liveM[i])
+				liveM[i] = liveM[len(liveM)-1]
+				liveM = liveM[:len(liveM)-1]
+			}
+		case r < 18: // exclusion toggle (exercises cache invalidation)
+			if len(excluded) > 0 && rng.Intn(2) == 0 {
+				a.IncludeLink(excluded[len(excluded)-1])
+				excluded = excluded[:len(excluded)-1]
+			} else {
+				l := topology.LinkID(rng.Intn(m.Graph.NumLinks()))
+				a.ExcludeLink(l)
+				excluded = append(excluded, l)
+			}
+		default: // multicast attach/detach churn
+			if len(liveM) == 0 {
+				continue
+			}
+			mc := liveM[rng.Intn(len(liveM))]
+			_, dst := pick()
+			if dst == mc.Src {
+				continue
+			}
+			if _, err := a.MulticastAttach(mc, dst); err == nil && rng.Intn(2) == 0 {
+				_, _ = a.MulticastDetach(mc, dst)
+			}
+		}
+	}
+
+	if err := Verify(m.Graph, wheel, liveU, liveM); err != nil {
+		t.Fatalf("survivors violate the contention-free invariant: %v", err)
+	}
+
+	// Replay the survivors on a fresh allocator and compare dense state.
+	fresh := New(m.Graph, wheel)
+	for _, u := range liveU {
+		fresh.commitUnicast(u)
+	}
+	for _, mc := range liveM {
+		fresh.commitMulticast(mc)
+	}
+	for l := 0; l < m.Graph.NumLinks(); l++ {
+		if got, want := a.linkBits(topology.LinkID(l)), fresh.linkBits(topology.LinkID(l)); got != want {
+			t.Fatalf("link %d occupancy %016x after churn, %016x after replay", l, got, want)
+		}
+	}
+	for n := 0; n < m.Graph.NumNodes(); n++ {
+		id := topology.NodeID(n)
+		if got, want := a.txBits(id), fresh.txBits(id); got != want {
+			t.Fatalf("node %d TX %016x after churn, %016x after replay", n, got, want)
+		}
+		if got, want := a.rxBits(id), fresh.rxBits(id); got != want {
+			t.Fatalf("node %d RX %016x after churn, %016x after replay", n, got, want)
+		}
+	}
+	if a.txdepth != 0 || len(a.journal) != 0 {
+		t.Fatalf("transaction state leaked: depth %d, %d journal entries", a.txdepth, len(a.journal))
+	}
+}

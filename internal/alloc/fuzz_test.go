@@ -1,0 +1,106 @@
+package alloc
+
+import (
+	"testing"
+
+	"daelite/internal/slots"
+	"daelite/internal/topology"
+)
+
+// FuzzVerify drives the allocator with a fuzzer-chosen op stream and
+// checks two properties of Verify: everything the allocator actually
+// admitted verifies clean, and corrupted allocations (double bookings,
+// foreign wheel sizes, bogus link IDs) are reported as errors — never
+// panics.
+func FuzzVerify(f *testing.F) {
+	f.Add([]byte{0x01, 0x23, 0x45, 0x67})
+	f.Add([]byte{0xff, 0x00, 0xff, 0x00, 0xff, 0x00})
+	f.Add([]byte{0x10, 0x32, 0x54, 0x76, 0x98, 0xba, 0xdc, 0xfe})
+
+	m, err := topology.NewMesh(topology.MeshSpec{Width: 4, Height: 4, NIsPerRouter: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	const wheel = 16
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a := New(m.Graph, wheel)
+		var liveU []*Unicast
+		var liveM []*Multicast
+		i := 0
+		next := func() byte {
+			if i >= len(data) {
+				return 0
+			}
+			b := data[i]
+			i++
+			return b
+		}
+		ni := func(b byte) topology.NodeID {
+			return m.AllNIs[int(b)%len(m.AllNIs)]
+		}
+		for i+3 <= len(data) && len(liveU)+len(liveM) < 64 {
+			op, sb, db := next(), next(), next()
+			src, dst := ni(sb), ni(db)
+			if src == dst {
+				continue
+			}
+			switch op % 4 {
+			case 0, 1:
+				if u, err := a.Unicast(src, dst, 1+int(op)%3, Options{}); err == nil {
+					liveU = append(liveU, u)
+				}
+			case 2:
+				d2 := ni(sb + db + 1)
+				if d2 == src || d2 == dst {
+					continue
+				}
+				if mc, err := a.Multicast(src, []topology.NodeID{dst, d2}, 1); err == nil {
+					liveM = append(liveM, mc)
+				}
+			default:
+				if len(liveU) > 0 {
+					j := int(sb) % len(liveU)
+					a.ReleaseUnicast(liveU[j])
+					liveU[j] = liveU[len(liveU)-1]
+					liveU = liveU[:len(liveU)-1]
+				}
+			}
+		}
+
+		// Property 1: the allocator's own output always verifies clean.
+		if err := Verify(m.Graph, wheel, liveU, liveM); err != nil {
+			t.Fatalf("admitted allocations fail verification: %v", err)
+		}
+
+		if len(liveU) == 0 {
+			return
+		}
+		u := liveU[0]
+
+		// Property 2: a double-committed allocation is a slot collision.
+		if err := Verify(m.Graph, wheel, append([]*Unicast{u}, liveU...), liveM); err == nil {
+			t.Fatal("double-committed unicast not flagged")
+		}
+
+		// Property 3: a wheel-size mismatch is an error, not a panic.
+		bad := &Unicast{Src: u.Src, Dst: u.Dst, Paths: []PathAlloc{{
+			Path:        u.Paths[0].Path,
+			InjectSlots: slots.Mask{Bits: 1, Size: wheel / 2},
+		}}}
+		if err := Verify(m.Graph, wheel, []*Unicast{bad}, nil); err == nil {
+			t.Fatal("wheel mismatch not flagged")
+		}
+
+		// Property 4: fuzzer-mutated slot masks must never panic Verify;
+		// extra bits either collide (error) or land in free slots (clean).
+		mut := &Unicast{Src: u.Src, Dst: u.Dst, Paths: append([]PathAlloc(nil), u.Paths...)}
+		pa := mut.Paths[0]
+		pa.InjectSlots = slots.Mask{
+			Bits: pa.InjectSlots.Bits | 1<<(uint(next())%wheel),
+			Size: wheel,
+		}
+		mut.Paths[0] = pa
+		_ = Verify(m.Graph, wheel, append([]*Unicast{mut}, liveU[1:]...), liveM)
+	})
+}

@@ -78,7 +78,7 @@ func (a *Allocator) MulticastAttach(m *Multicast, dst topology.NodeID) ([]TreeEd
 	var newEdges []TreeEdge
 	for _, l := range best.path {
 		if !inTree[l] {
-			occ := a.occ(a.linkOcc, l)
+			occ := a.LinkOccupancy(l)
 			if occ.Overlaps(m.InjectSlots.RotateUp(depth)) {
 				return nil, ErrNoCapacity{Want: m.InjectSlots.Count(), Got: 0}
 			}
@@ -86,16 +86,16 @@ func (a *Allocator) MulticastAttach(m *Multicast, dst topology.NodeID) ([]TreeEd
 		}
 		depth += a.g.SlotAdvance(l)
 	}
-	rxFree := slots.Mask{Bits: ^a.nodeOcc(a.niRX, dst).Bits & wheelBits(a.wheel), Size: a.wheel}
+	rxFree := slots.Mask{Bits: ^a.rxBits(dst) & wheelBits(a.wheel), Size: a.wheel}
 	if m.InjectSlots.RotateUp(depth).Bits&^rxFree.Bits != 0 {
 		return nil, ErrNoCapacity{Want: m.InjectSlots.Count(), Got: 0}
 	}
 
 	// Commit.
 	for _, e := range newEdges {
-		a.linkOcc[e.Link] = a.occ(a.linkOcc, e.Link).Union(m.InjectSlots.RotateUp(e.Depth))
+		a.setLinkBits(e.Link, a.linkBits(e.Link)|m.InjectSlots.RotateUp(e.Depth).Bits)
 	}
-	a.niRX[dst] = a.nodeOcc(a.niRX, dst).Union(m.InjectSlots.RotateUp(depth))
+	a.setRXBits(dst, a.rxBits(dst)|m.InjectSlots.RotateUp(depth).Bits)
 	m.Edges = append(m.Edges, newEdges...)
 	m.Dsts = append(m.Dsts, dst)
 	m.DestDepth[dst] = depth
@@ -138,10 +138,10 @@ func (a *Allocator) MulticastDetach(m *Multicast, dst topology.NodeID) ([]TreeEd
 			break
 		}
 		pruned = append(pruned, e)
-		a.linkOcc[e.Link] = maskMinus(a.occ(a.linkOcc, e.Link), m.InjectSlots.RotateUp(e.Depth))
+		a.setLinkBits(e.Link, a.linkBits(e.Link)&^m.InjectSlots.RotateUp(e.Depth).Bits)
 		node = a.g.Link(e.Link).From
 	}
-	a.niRX[dst] = maskMinus(a.nodeOcc(a.niRX, dst), m.InjectSlots.RotateUp(m.DestDepth[dst]))
+	a.setRXBits(dst, a.rxBits(dst)&^m.InjectSlots.RotateUp(m.DestDepth[dst]).Bits)
 
 	prunedSet := make(map[topology.LinkID]bool, len(pruned))
 	for _, e := range pruned {

@@ -33,24 +33,29 @@ func (a *Allocator) AllocateUseCase(reqs []Request) (*UseCaseAlloc, error) {
 	if len(reqs) == 0 {
 		return nil, fmt.Errorf("alloc: empty use-case")
 	}
-	clone := a.Clone()
+	// Requests commit directly under an undo-journal transaction: a
+	// failing request rolls back only the words the earlier requests
+	// wrote, not a copy of the whole network.
+	mark := a.beginTxn()
 	out := &UseCaseAlloc{}
 	for i, r := range reqs {
 		if len(r.Dsts) > 0 {
-			mc, err := clone.Multicast(r.Src, r.Dsts, r.Slots)
+			mc, err := a.Multicast(r.Src, r.Dsts, r.Slots)
 			if err != nil {
+				a.abortTxn(mark)
 				return nil, fmt.Errorf("alloc: use-case request %d: %w", i, err)
 			}
 			out.Multicasts = append(out.Multicasts, mc)
 			continue
 		}
-		u, err := clone.Unicast(r.Src, r.Dst, r.Slots, r.Opts)
+		u, err := a.Unicast(r.Src, r.Dst, r.Slots, r.Opts)
 		if err != nil {
+			a.abortTxn(mark)
 			return nil, fmt.Errorf("alloc: use-case request %d: %w", i, err)
 		}
 		out.Unicasts = append(out.Unicasts, u)
 	}
-	a.adopt(clone)
+	a.commitTxn()
 	return out, nil
 }
 

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"fmt"
+
+	"daelite/internal/alloc"
+	"daelite/internal/topology"
+)
+
+// chanPref carries the NI channel preferences of one batch entry (repair
+// re-opens a connection on the channel indices its endpoints are bound
+// to; fresh connections pass -1 / nil).
+type chanPref struct {
+	src, dst int
+	dsts     map[topology.NodeID]int
+}
+
+// OpenBatch admits many connections as one batch: all slot reservations
+// are computed through the allocator's parallel batch engine
+// (Params.Workers controls the evaluation parallelism; results are
+// bit-identical for every worker count), then each admitted connection's
+// configuration packets are built and submitted in spec order. It returns
+// one connection or one error per spec, index-aligned; a failed spec
+// never blocks the others. Like Open, returned connections are in state
+// Opening until the configuration settles (CompleteConfig/AwaitOpen).
+func (p *Platform) OpenBatch(specs []ConnectionSpec) ([]*Connection, []error) {
+	prefs := make([]chanPref, len(specs))
+	for i := range prefs {
+		prefs[i] = chanPref{src: -1, dst: -1}
+	}
+	return p.openBatch(specs, prefs)
+}
+
+func (p *Platform) openBatch(specs []ConnectionSpec, prefs []chanPref) ([]*Connection, []error) {
+	items := make([]alloc.BatchItem, len(specs))
+	normalized := make([]ConnectionSpec, len(specs))
+	preErr := make([]error, len(specs))
+	for i, spec := range specs {
+		if spec.SlotsFwd <= 0 {
+			preErr[i] = fmt.Errorf("core: SlotsFwd must be positive")
+			continue
+		}
+		if spec.multicast() {
+			normalized[i] = spec
+			items[i] = alloc.BatchItem{Reqs: []alloc.Request{
+				{Src: spec.Src, Dsts: spec.Dsts, Slots: spec.SlotsFwd},
+			}}
+			continue
+		}
+		if spec.SlotsRev <= 0 {
+			spec.SlotsRev = 1
+		}
+		normalized[i] = spec
+		opts := spec.allocOptions()
+		items[i] = alloc.BatchItem{Reqs: []alloc.Request{
+			{Src: spec.Src, Dst: spec.Dst, Slots: spec.SlotsFwd, Opts: opts},
+			{Src: spec.Dst, Dst: spec.Src, Slots: spec.SlotsRev, Opts: opts},
+		}}
+	}
+
+	results, _ := p.Alloc.Batch(items, p.Params.Workers)
+
+	conns := make([]*Connection, len(specs))
+	errs := make([]error, len(specs))
+	for i := range specs {
+		if preErr[i] != nil {
+			errs[i] = preErr[i]
+			continue
+		}
+		r := results[i]
+		if r.Err != nil {
+			errs[i] = fmt.Errorf("core: batch allocation: %w", r.Err)
+			continue
+		}
+		spec := normalized[i]
+		if spec.multicast() {
+			conns[i], errs[i] = p.finishMulticast(spec, r.Alloc.Multicasts[0], prefs[i].src, prefs[i].dsts)
+		} else {
+			conns[i], errs[i] = p.finishUnicast(spec, r.Alloc.Unicasts[0], r.Alloc.Unicasts[1], prefs[i].src, prefs[i].dst)
+		}
+	}
+	return conns, errs
+}

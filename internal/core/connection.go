@@ -117,7 +117,7 @@ func (p *Platform) openUnicast(spec ConnectionSpec, prefSrcCh, prefDstCh int) (*
 	if spec.SlotsRev <= 0 {
 		spec.SlotsRev = 1
 	}
-	opts := alloc.Options{Multipath: spec.Multipath, MaxDetour: spec.MaxDetour, Spread: spec.Spread}
+	opts := spec.allocOptions()
 	fwd, err := p.Alloc.Unicast(spec.Src, spec.Dst, spec.SlotsFwd, opts)
 	if err != nil {
 		return nil, fmt.Errorf("core: forward allocation: %w", err)
@@ -127,6 +127,18 @@ func (p *Platform) openUnicast(spec ConnectionSpec, prefSrcCh, prefDstCh int) (*
 		p.Alloc.ReleaseUnicast(fwd)
 		return nil, fmt.Errorf("core: reverse allocation: %w", err)
 	}
+	return p.finishUnicast(spec, fwd, rev, prefSrcCh, prefDstCh)
+}
+
+// allocOptions translates the spec's routing knobs for the allocator.
+func (s ConnectionSpec) allocOptions() alloc.Options {
+	return alloc.Options{Multipath: s.Multipath, MaxDetour: s.MaxDetour, Spread: s.Spread}
+}
+
+// finishUnicast turns an already-reserved forward/reverse pair into a live
+// connection: channel indices, path and register configuration packets,
+// submission. On failure the reservations are released.
+func (p *Platform) finishUnicast(spec ConnectionSpec, fwd, rev *alloc.Unicast, prefSrcCh, prefDstCh int) (*Connection, error) {
 	srcCh, err := p.allocChannelPref(spec.Src, prefSrcCh)
 	if err != nil {
 		p.Alloc.ReleaseUnicast(fwd)
@@ -197,6 +209,12 @@ func (p *Platform) openMulticast(spec ConnectionSpec, prefSrcCh int, prefDstChs 
 	if err != nil {
 		return nil, fmt.Errorf("core: multicast allocation: %w", err)
 	}
+	return p.finishMulticast(spec, tree, prefSrcCh, prefDstChs)
+}
+
+// finishMulticast turns an already-reserved tree into a live connection;
+// on failure the reservation is released.
+func (p *Platform) finishMulticast(spec ConnectionSpec, tree *alloc.Multicast, prefSrcCh int, prefDstChs map[topology.NodeID]int) (*Connection, error) {
 	srcCh, err := p.allocChannelPref(spec.Src, prefSrcCh)
 	if err != nil {
 		p.Alloc.ReleaseMulticast(tree)

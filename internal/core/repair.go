@@ -121,25 +121,80 @@ func (p *Platform) Repair(c *Connection, budget uint64) (*RepairResult, error) {
 }
 
 // RepairStalled runs the full detect-diagnose-repair loop once: it takes
-// the monitor's stalled connections, excludes the suspect links, and
-// repairs each stalled connection in ID order. It returns one result per
-// repaired connection; on the first failing repair it returns what
-// succeeded so far along with the error.
+// the monitor's stalled connections, excludes the suspect links, tears
+// every stalled connection down, and re-admits them all as one batch
+// through the allocator's parallel admission engine — one configuration
+// settle covers the whole group, so N repairs cost one round through the
+// configuration tree instead of N. Results are returned in ID order; on
+// the first failing re-admission it returns what succeeded so far along
+// with the error.
 func (p *Platform) RepairStalled(h *HealthMonitor, budget uint64) ([]*RepairResult, error) {
 	stalled := h.Stalled()
 	if len(stalled) == 0 {
 		return nil, nil
 	}
 	p.ExcludeLinks(h.SuspectLinks()...)
-	var out []*RepairResult
-	for _, c := range stalled {
-		detect := h.DetectCycle(c.ID)
-		res, err := p.Repair(c, budget)
-		if res != nil {
-			res.DetectCycle = detect
+	excluded := p.Alloc.ExcludedLinks()
+	submit := p.Sim.Cycle()
+
+	// Tear every stalled connection down first: their slots return to the
+	// pool, so the batch re-admission sees the full residual capacity.
+	specs := make([]ConnectionSpec, len(stalled))
+	prefs := make([]chanPref, len(stalled))
+	detects := make([]uint64, len(stalled))
+	oldIDs := make([]int, len(stalled))
+	for i, c := range stalled {
+		specs[i] = c.Spec
+		prefs[i] = chanPref{src: c.SrcChannel, dst: c.DstChannel, dsts: c.DstChannels}
+		detects[i] = h.DetectCycle(c.ID)
+		oldIDs[i] = c.ID
+		if err := p.Close(c); err != nil {
+			return nil, fmt.Errorf("core: repair tear-down: %w", err)
 		}
-		if err != nil {
-			return out, err
+	}
+
+	conns, errs := p.openBatch(specs, prefs)
+	if _, err := p.CompleteConfig(budget); err != nil {
+		return nil, fmt.Errorf("core: repair configuration: %w", err)
+	}
+	done := p.Sim.Cycle()
+
+	var out []*RepairResult
+	for i := range stalled {
+		if errs[i] != nil {
+			return out, fmt.Errorf("core: repair re-allocation: %w", errs[i])
+		}
+		nc := conns[i]
+		if nc.State == Opening {
+			nc.State = Open
+		}
+		res := &RepairResult{
+			OldID:       oldIDs[i],
+			NewID:       nc.ID,
+			Conn:        nc,
+			DetectCycle: detects[i],
+			SubmitCycle: submit,
+			DoneCycle:   done,
+			Excluded:    excluded,
+		}
+		if p.tel != nil {
+			// The repair span covers the whole tear-down + re-set-up
+			// transaction; the set-up and teardown legs are also emitted
+			// individually by CompleteConfig. Words counts the re-set-up
+			// packets (the repair-specific configuration cost).
+			p.tel.EmitSpan(telemetry.Span{
+				Op:          "repair",
+				ID:          nc.ID,
+				SubmitCycle: res.SubmitCycle,
+				SettleCycle: res.DoneCycle,
+				Words:       nc.Setup.Words,
+				Detail:      p.connDetail(nc.Spec),
+			})
+			p.tel.Emit(telemetry.Event{
+				Cycle:  res.DoneCycle,
+				Kind:   "repair",
+				Detail: fmt.Sprintf("conn %d -> %d (%s)", res.OldID, res.NewID, p.connDetail(nc.Spec)),
+			})
 		}
 		out = append(out, res)
 	}

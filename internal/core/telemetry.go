@@ -51,6 +51,8 @@ type telHarvest struct {
 	cycle   *telemetry.Gauge
 	nis     []*niTel
 	routers []*routerTel
+	// Admission-engine path cache counters (alloc.CacheStats mirror).
+	cacheHits, cacheMisses, cacheInvalidations, cacheTruncations *telemetry.Counter
 }
 
 // AttachTelemetry connects a registry to the platform and registers the
@@ -67,8 +69,12 @@ func (p *Platform) AttachTelemetry(reg *telemetry.Registry, sampleEvery int) {
 	}
 	p.tel = reg
 	h := &telHarvest{
-		every: uint64(sampleEvery),
-		cycle: reg.Gauge("cycle"),
+		every:              uint64(sampleEvery),
+		cycle:              reg.Gauge("cycle"),
+		cacheHits:          reg.Counter("alloc_path_cache_hits_total"),
+		cacheMisses:        reg.Counter("alloc_path_cache_misses_total"),
+		cacheInvalidations: reg.Counter("alloc_path_cache_invalidations_total"),
+		cacheTruncations:   reg.Counter("alloc_path_truncations_total"),
 	}
 	// Nodes() is in ID order, so handle creation — and therefore the
 	// registry contents — is deterministic.
@@ -123,6 +129,11 @@ func (p *Platform) FlushTelemetry() {
 func (p *Platform) harvestTelemetry(cycle uint64) {
 	h := p.harvest
 	h.cycle.Set(int64(cycle))
+	cs := p.Alloc.CacheStats()
+	h.cacheHits.Store(cs.Hits)
+	h.cacheMisses.Store(cs.Misses)
+	h.cacheInvalidations.Store(cs.Invalidations)
+	h.cacheTruncations.Store(cs.Truncations)
 	for _, nt := range h.nis {
 		n := p.NIs[nt.id]
 		inj, del := n.Stats()

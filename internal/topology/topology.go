@@ -4,11 +4,18 @@
 // (mesh, torus, ring), shortest-path routing queries, simple-path
 // enumeration for multipath allocation, and the minimal-depth spanning tree
 // used by the configuration broadcast network.
+//
+// Node and link IDs are dense (assigned 0,1,2,... by Add*), so all internal
+// adjacency state lives in flat slices indexed by ID, and routing queries
+// run against an immutable CSR-style snapshot with pooled scratch buffers —
+// no per-query map or slice allocation on the hot path.
 package topology
 
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // NodeID identifies a network element (router or NI).
@@ -65,23 +72,98 @@ type Graph struct {
 	links []Link
 	// out[n] lists link IDs leaving n ordered by FromPort; in[n] lists
 	// link IDs entering n ordered by ToPort.
-	out, in map[NodeID][]LinkID
-	// pair[l] is the reverse link of l for bidirectional channels.
-	pair map[LinkID]LinkID
+	out, in [][]LinkID
+	// pair[l] is the reverse link of l for bidirectional channels (-1
+	// when l has none).
+	pair []LinkID
 	// pipeline[l] is the number of extra register-pair stages on the
 	// link (mesochronous/long-link support): each stage adds one slot
 	// of latency on top of the standard hop.
-	pipeline map[LinkID]int
+	pipeline []int
+
+	// pipeVersion counts SetPipeline mutations so the CSR snapshot can
+	// detect stale slot advances.
+	pipeVersion uint64
+	snap        atomic.Pointer[csr]
 }
+
+// csr is an immutable CSR-style adjacency snapshot: the out-adjacency of
+// node n is outLinks[heads[n]:heads[n+1]] (link IDs in port order, which is
+// also ascending ID order per node) with outTo holding each link's
+// destination, and adv[l] caches SlotAdvance(l). Routing queries iterate it
+// without touching the mutable Graph, so a snapshot taken once is safe for
+// concurrent readers.
+type csr struct {
+	nodes, links int
+	pipeVersion  uint64
+	heads        []int32
+	outLinks     []LinkID
+	outTo        []NodeID
+	adv          []int32
+}
+
+// snapshot returns the current CSR view, rebuilding it only when the graph
+// grew or a pipeline stage changed since the last build.
+func (g *Graph) snapshot() *csr {
+	if s := g.snap.Load(); s != nil &&
+		s.nodes == len(g.nodes) && s.links == len(g.links) && s.pipeVersion == g.pipeVersion {
+		return s
+	}
+	s := &csr{
+		nodes:       len(g.nodes),
+		links:       len(g.links),
+		pipeVersion: g.pipeVersion,
+		heads:       make([]int32, len(g.nodes)+1),
+		outLinks:    make([]LinkID, 0, len(g.links)),
+		outTo:       make([]NodeID, 0, len(g.links)),
+		adv:         make([]int32, len(g.links)),
+	}
+	for n := range g.nodes {
+		s.heads[n] = int32(len(s.outLinks))
+		for _, l := range g.out[n] {
+			s.outLinks = append(s.outLinks, l)
+			s.outTo = append(s.outTo, g.links[l].To)
+		}
+	}
+	s.heads[len(g.nodes)] = int32(len(s.outLinks))
+	for l := range g.links {
+		s.adv[l] = int32(1 + g.pipeline[l])
+	}
+	g.snap.Store(s)
+	return s
+}
+
+// bfsScratch is the reusable working set of one BFS/DFS query: seen is an
+// epoch-stamped visited array (bumping the epoch clears it in O(1)), prev
+// records the incoming link per visited node, queue is the FIFO frontier.
+type bfsScratch struct {
+	epoch uint64
+	seen  []uint64
+	prev  []LinkID
+	queue []NodeID
+	onCur []bool // DFS path membership; always left all-false
+}
+
+var scratchPool = sync.Pool{New: func() any { return &bfsScratch{} }}
+
+// grab sizes a pooled scratch for n nodes and starts a fresh epoch.
+func grab(n int) *bfsScratch {
+	s := scratchPool.Get().(*bfsScratch)
+	if len(s.seen) < n {
+		s.seen = make([]uint64, n)
+		s.prev = make([]LinkID, n)
+		s.onCur = make([]bool, n)
+	}
+	s.epoch++
+	s.queue = s.queue[:0]
+	return s
+}
+
+func (s *bfsScratch) release() { scratchPool.Put(s) }
 
 // NewGraph returns an empty graph.
 func NewGraph() *Graph {
-	return &Graph{
-		out:      make(map[NodeID][]LinkID),
-		in:       make(map[NodeID][]LinkID),
-		pair:     make(map[LinkID]LinkID),
-		pipeline: make(map[LinkID]int),
-	}
+	return &Graph{}
 }
 
 // SetPipeline marks link l as pipelined with the given number of extra
@@ -89,11 +171,11 @@ func NewGraph() *Graph {
 // links are modeled this way: every stage adds exactly one TDM slot of
 // latency, preserving contention-free scheduling.
 func (g *Graph) SetPipeline(l LinkID, stages int) {
-	if stages <= 0 {
-		delete(g.pipeline, l)
-		return
+	if stages < 0 {
+		stages = 0
 	}
 	g.pipeline[l] = stages
+	g.pipeVersion++
 }
 
 // Pipeline returns the extra stage count of link l (0 for standard
@@ -118,6 +200,8 @@ func (g *Graph) PathSlotAdvance(p Path) int {
 func (g *Graph) AddNode(kind Kind, name string, x, y int) NodeID {
 	id := NodeID(len(g.nodes))
 	g.nodes = append(g.nodes, Node{ID: id, Kind: kind, Name: name, X: x, Y: y})
+	g.out = append(g.out, nil)
+	g.in = append(g.in, nil)
 	return id
 }
 
@@ -135,6 +219,8 @@ func (g *Graph) AddLink(a, b NodeID) LinkID {
 	g.links = append(g.links, l)
 	g.out[a] = append(g.out[a], id)
 	g.in[b] = append(g.in[b], id)
+	g.pair = append(g.pair, -1)
+	g.pipeline = append(g.pipeline, 0)
 	return id
 }
 
@@ -150,8 +236,8 @@ func (g *Graph) AddBidi(a, b NodeID) (ab, ba LinkID) {
 
 // Reverse returns the paired reverse link of l and whether one exists.
 func (g *Graph) Reverse(l LinkID) (LinkID, bool) {
-	r, ok := g.pair[l]
-	return r, ok
+	r := g.pair[l]
+	return r, r >= 0
 }
 
 // Node returns the node with the given ID.
@@ -257,60 +343,64 @@ func (g *Graph) ValidatePath(p Path) error {
 	return nil
 }
 
+// bfs runs a BFS from a toward b over the snapshot, skipping links for
+// which skip reports true (nil means no link is skipped). It fills
+// s.prev/s.seen and reports whether b was reached. The FIFO queue visits
+// nodes in the same order as a frontier-by-frontier sweep, so ties are
+// broken deterministically by link ID exactly like the historical
+// implementation.
+func bfs(c *csr, s *bfsScratch, a, b NodeID, skip []bool) bool {
+	s.seen[a] = s.epoch
+	s.queue = append(s.queue[:0], a)
+	for qi := 0; qi < len(s.queue); qi++ {
+		n := s.queue[qi]
+		for i := c.heads[n]; i < c.heads[n+1]; i++ {
+			l := c.outLinks[i]
+			if skip != nil && int(l) < len(skip) && skip[l] {
+				continue
+			}
+			to := c.outTo[i]
+			if s.seen[to] == s.epoch {
+				continue
+			}
+			s.seen[to] = s.epoch
+			s.prev[to] = l
+			if to == b {
+				return true
+			}
+			s.queue = append(s.queue, to)
+		}
+	}
+	return false
+}
+
+// unwind materializes the path recorded in s.prev.
+func (g *Graph) unwind(s *bfsScratch, a, b NodeID) Path {
+	n, hops := b, 0
+	for n != a {
+		l := s.prev[n]
+		hops++
+		n = g.links[l].From
+	}
+	p := make(Path, hops)
+	n = b
+	for i := hops - 1; i >= 0; i-- {
+		l := s.prev[n]
+		p[i] = l
+		n = g.links[l].From
+	}
+	return p
+}
+
 // ShortestPath returns a minimum-hop path from a to b found by BFS, or nil
 // if b is unreachable. Ties are broken deterministically by link ID.
 func (g *Graph) ShortestPath(a, b NodeID) Path {
-	if a == b {
-		return Path{}
-	}
-	prev := make(map[NodeID]LinkID)
-	visited := map[NodeID]bool{a: true}
-	frontier := []NodeID{a}
-	for len(frontier) > 0 {
-		var next []NodeID
-		for _, n := range frontier {
-			for _, l := range g.out[n] {
-				to := g.links[l].To
-				if visited[to] {
-					continue
-				}
-				visited[to] = true
-				prev[to] = l
-				if to == b {
-					return g.unwind(prev, a, b)
-				}
-				next = append(next, to)
-			}
-		}
-		frontier = next
-	}
-	return nil
-}
-
-func (g *Graph) unwind(prev map[NodeID]LinkID, a, b NodeID) Path {
-	var rev Path
-	for n := b; n != a; {
-		l := prev[n]
-		rev = append(rev, l)
-		n = g.links[l].From
-	}
-	// reverse in place
-	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
-		rev[i], rev[j] = rev[j], rev[i]
-	}
-	return rev
+	return g.ShortestPathAvoidingDense(a, b, nil)
 }
 
 // Distance returns the minimum hop count from a to b, or -1 if unreachable.
 func (g *Graph) Distance(a, b NodeID) int {
-	if a == b {
-		return 0
-	}
-	p := g.ShortestPath(a, b)
-	if p == nil {
-		return -1
-	}
-	return len(p)
+	return g.DistanceAvoidingDense(a, b, nil)
 }
 
 // ShortestPathAvoiding returns a minimum-hop path from a to b that uses no
@@ -320,49 +410,68 @@ func (g *Graph) Distance(a, b NodeID) int {
 // ShortestPath.
 func (g *Graph) ShortestPathAvoiding(a, b NodeID, avoid map[LinkID]bool) Path {
 	if len(avoid) == 0 {
-		return g.ShortestPath(a, b)
+		return g.ShortestPathAvoidingDense(a, b, nil)
 	}
+	return g.ShortestPathAvoidingDense(a, b, g.denseAvoid(avoid))
+}
+
+// denseAvoid converts a sparse avoid set to the dense form the BFS core
+// consumes.
+func (g *Graph) denseAvoid(avoid map[LinkID]bool) []bool {
+	dense := make([]bool, len(g.links))
+	for l, bad := range avoid {
+		if bad && int(l) < len(dense) {
+			dense[l] = true
+		}
+	}
+	return dense
+}
+
+// ShortestPathAvoidingDense is ShortestPathAvoiding with the avoid set
+// given as a dense bool slice indexed by LinkID (nil or short slices treat
+// missing entries as not avoided). This is the allocation-free form the
+// admission engine calls.
+func (g *Graph) ShortestPathAvoidingDense(a, b NodeID, avoid []bool) Path {
 	if a == b {
 		return Path{}
 	}
-	prev := make(map[NodeID]LinkID)
-	visited := map[NodeID]bool{a: true}
-	frontier := []NodeID{a}
-	for len(frontier) > 0 {
-		var next []NodeID
-		for _, n := range frontier {
-			for _, l := range g.out[n] {
-				if avoid[l] {
-					continue
-				}
-				to := g.links[l].To
-				if visited[to] {
-					continue
-				}
-				visited[to] = true
-				prev[to] = l
-				if to == b {
-					return g.unwind(prev, a, b)
-				}
-				next = append(next, to)
-			}
-		}
-		frontier = next
+	c := g.snapshot()
+	s := grab(c.nodes)
+	defer s.release()
+	if !bfs(c, s, a, b, avoid) {
+		return nil
 	}
-	return nil
+	return g.unwind(s, a, b)
 }
 
 // DistanceAvoiding returns the minimum hop count from a to b over paths
 // that use no link in avoid, or -1 if b is unreachable without them.
 func (g *Graph) DistanceAvoiding(a, b NodeID, avoid map[LinkID]bool) int {
+	if len(avoid) == 0 {
+		return g.DistanceAvoidingDense(a, b, nil)
+	}
+	return g.DistanceAvoidingDense(a, b, g.denseAvoid(avoid))
+}
+
+// DistanceAvoidingDense returns the minimum hop count from a to b avoiding
+// the densely-given links, or -1. It allocates nothing: the hop count is
+// recovered by walking prev pointers instead of materializing the path.
+func (g *Graph) DistanceAvoidingDense(a, b NodeID, avoid []bool) int {
 	if a == b {
 		return 0
 	}
-	p := g.ShortestPathAvoiding(a, b, avoid)
-	if p == nil {
+	c := g.snapshot()
+	s := grab(c.nodes)
+	defer s.release()
+	if !bfs(c, s, a, b, avoid) {
 		return -1
 	}
-	return len(p)
+	hops := 0
+	for n := b; n != a; {
+		hops++
+		n = g.links[s.prev[n]].From
+	}
+	return hops
 }
 
 // SimplePaths enumerates all simple paths (no repeated node) from a to b
@@ -370,9 +479,19 @@ func (g *Graph) DistanceAvoiding(a, b NodeID, avoid map[LinkID]bool) int {
 // lexicographic by link IDs). The enumeration is capped at limit paths;
 // limit <= 0 means no cap. Used by the multipath allocator.
 func (g *Graph) SimplePaths(a, b NodeID, maxLen, limit int) []Path {
+	paths, _ := g.SimplePathsCapped(a, b, maxLen, limit)
+	return paths
+}
+
+// SimplePathsCapped is SimplePaths plus a flag reporting whether the cap
+// dropped candidate paths — the signal the allocator surfaces through
+// telemetry so ErrNoCapacity under truncation is diagnosable.
+func (g *Graph) SimplePathsCapped(a, b NodeID, maxLen, limit int) ([]Path, bool) {
+	c := g.snapshot()
+	s := grab(c.nodes)
+	defer s.release()
 	var out []Path
-	visited := make(map[NodeID]bool)
-	var cur Path
+	cur := make(Path, 0, maxLen)
 	var dfs func(n NodeID)
 	dfs = func(n NodeID) {
 		if n == b {
@@ -384,17 +503,17 @@ func (g *Graph) SimplePaths(a, b NodeID, maxLen, limit int) []Path {
 		if len(cur) >= maxLen {
 			return
 		}
-		visited[n] = true
-		for _, l := range g.out[n] {
-			to := g.links[l].To
-			if visited[to] {
+		s.onCur[n] = true
+		for i := c.heads[n]; i < c.heads[n+1]; i++ {
+			to := c.outTo[i]
+			if s.onCur[to] {
 				continue
 			}
-			cur = append(cur, l)
+			cur = append(cur, c.outLinks[i])
 			dfs(to)
 			cur = cur[:len(cur)-1]
 		}
-		visited[n] = false
+		s.onCur[n] = false
 	}
 	dfs(a)
 	sort.SliceStable(out, func(i, j int) bool {
@@ -409,9 +528,9 @@ func (g *Graph) SimplePaths(a, b NodeID, maxLen, limit int) []Path {
 		return false
 	})
 	if limit > 0 && len(out) > limit {
-		out = out[:limit]
+		return out[:limit:limit], true
 	}
-	return out
+	return out, false
 }
 
 // SpanningTree is a minimal-depth (BFS) spanning tree rooted at Root. The
