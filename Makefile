@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet fmt race bench benchdiff bench-baseline experiments golden examples cover fuzz profile clean
+.PHONY: all build test vet fmt race bench benchdiff bench-baseline experiments golden examples cover cover-gate conform fuzz profile clean
 
 all: build vet test
 
@@ -57,6 +57,16 @@ examples:
 
 cover:
 	$(GO) test -cover ./...
+
+# The CI coverage floor: total statement coverage must not drop below
+# the figure recorded when the conformance harness landed.
+cover-gate:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | awk '/^total:/ {sub("%","",$$3); print "total coverage: " $$3 "%"; if ($$3+0 < 72.6) { print "below the 72.6% floor"; exit 1 }}'
+
+# The CI conformance gate: differential sweep + mutation smoke.
+conform:
+	$(GO) run ./cmd/daelite-conform -scenarios 25 -seed 1
 
 # Short seeded fuzz run of the allocation verifier — the same budget as
 # the CI fuzz step.

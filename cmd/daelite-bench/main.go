@@ -35,7 +35,7 @@ func main() {
 	var which, outPath, cpuProfile, memProfile string
 	var listOnly, jsonOut bool
 	var workers int
-	flag.StringVar(&which, "experiment", "", "run only the experiment with this ID (E1..E17, A1..A9) or artifact substring")
+	flag.StringVar(&which, "experiment", "", "run only the experiment with this ID (E1..E18, A1..A9) or artifact substring")
 	flag.BoolVar(&listOnly, "list", false, "list experiments without running them")
 	flag.StringVar(&outPath, "o", "", "also write the output to this file (with -json: the snapshot path)")
 	flag.BoolVar(&jsonOut, "json", false, "emit a BENCH_<rev>.json machine-readable snapshot instead of tables")
@@ -175,6 +175,7 @@ func list() {
 	fmt.Println("E15  repair latency under a link failure (chaos)")
 	fmt.Println("E16  parallel kernel scaling (cycles/sec vs mesh size vs workers; not in golden output)")
 	fmt.Println("E17  batch admission throughput (set-ups/sec vs mesh size vs workers; not in golden output)")
+	fmt.Println("E18  conformance: sim-vs-model differential sweep + mutation smoke")
 	fmt.Println("A1   ablation: TDM wheel size")
 	fmt.Println("A2   ablation: configuration cool-down")
 	fmt.Println("A3   ablation: host placement / tree depth")

@@ -25,7 +25,9 @@ import (
 func main() {
 	var conns, kill, cycles int
 	var seed, timeout uint64
+	var expectFP string
 	pf := cli.RegisterPlatformFlags(flag.CommandLine)
+	flag.StringVar(&expectFP, "expect-fingerprint", "", "fail (exit non-zero) unless the run's determinism fingerprint equals this hex value")
 	flag.IntVar(&conns, "conns", 6, "connections to open")
 	flag.IntVar(&kill, "kill", 1, "router-to-router links to kill during the run")
 	flag.IntVar(&cycles, "cycles", 40000, "cycles to soak after set-up")
@@ -44,6 +46,7 @@ func main() {
 	if url := exp.MetricsURL(); url != "" {
 		fmt.Printf("metrics: %s\n", url)
 	}
+	fingerprint := cli.AttachFingerprint(p)
 	rng := sim.NewRNG(seed)
 
 	// Random placement, like the contention-freedom soak: keep trying
@@ -146,6 +149,13 @@ func main() {
 	fmt.Println(linkMon.Report("Link utilization and damage"))
 	if err := exp.Close(); err != nil {
 		fatal("%v", err)
+	}
+	fp := fingerprint()
+	fmt.Printf("fingerprint: %016x\n", fp)
+	if expectFP != "" {
+		if err := cli.CheckFingerprint(fp, expectFP); err != nil {
+			fatal("%v", err)
+		}
 	}
 	if len(failures) > 0 {
 		fatal("%d connection(s) could not be repaired", len(failures))

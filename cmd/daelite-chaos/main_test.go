@@ -1,0 +1,67 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// Exit-code tests via re-exec, like cmd/daelite-sim: the chaos soak must
+// replay bit-identically from its seed, and a fingerprint disagreement
+// must fail the process so CI catches determinism regressions.
+
+func TestMain(m *testing.M) {
+	if os.Getenv("DAELITE_CHAOS_RUN_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func runSelf(t *testing.T, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "DAELITE_CHAOS_RUN_MAIN=1")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("re-exec: %v\n%s", err, out)
+		}
+		return string(out), ee.ExitCode()
+	}
+	return string(out), 0
+}
+
+var fpLine = regexp.MustCompile(`fingerprint: ([0-9a-f]{16})`)
+
+// TestFingerprintExitCodes: a seeded soak prints its fingerprint; the
+// same invocation with -expect-fingerprint set to that value exits 0
+// (replay is bit-identical), a wrong value exits non-zero.
+func TestFingerprintExitCodes(t *testing.T) {
+	args := []string{"-mesh", "3x3", "-conns", "2", "-kill", "1", "-cycles", "4000", "-seed", "3"}
+	out, code := runSelf(t, args...)
+	if code != 0 {
+		t.Fatalf("baseline soak exited %d:\n%s", code, out)
+	}
+	m := fpLine.FindStringSubmatch(out)
+	if m == nil {
+		t.Fatalf("no fingerprint line in output:\n%s", out)
+	}
+	fp := m[1]
+
+	out, code = runSelf(t, append([]string{"-expect-fingerprint", fp}, args...)...)
+	if code != 0 {
+		t.Fatalf("replay with matching fingerprint exited %d:\n%s", code, out)
+	}
+
+	out, code = runSelf(t, append([]string{"-expect-fingerprint", "00000000deadbeef"}, args...)...)
+	if code == 0 {
+		t.Fatalf("mismatched fingerprint exited 0:\n%s", out)
+	}
+	if !strings.Contains(out, "fingerprint mismatch") {
+		t.Fatalf("no mismatch diagnosis in output:\n%s", out)
+	}
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+func TestMain(m *testing.M) {
+	if os.Getenv("DAELITE_CONFORM_RUN_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func runSelf(t *testing.T, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "DAELITE_CONFORM_RUN_MAIN=1")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("re-exec: %v\n%s", err, out)
+		}
+		return string(out), ee.ExitCode()
+	}
+	return string(out), 0
+}
+
+// TestSweepAndSmokePass: a small sweep plus the mutation drill must exit
+// zero and report full agreement.
+func TestSweepAndSmokePass(t *testing.T) {
+	out, code := runSelf(t, "-scenarios", "3", "-v")
+	if code != 0 {
+		t.Fatalf("exited %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "sweep: 3/3 scenarios passed") {
+		t.Fatalf("sweep summary missing:\n%s", out)
+	}
+	if !strings.Contains(out, "mutation smoke: slot-table violations=") {
+		t.Fatalf("mutation summary missing:\n%s", out)
+	}
+}

@@ -34,11 +34,12 @@ import (
 )
 
 func main() {
-	var vcdPath, specPath, failLink string
+	var vcdPath, specPath, failLink, expectFP string
 	var cycles int
 	var failAt, faultSeed, stallTimeout uint64
 	pf := cli.RegisterPlatformFlags(flag.CommandLine)
 	flag.IntVar(&cycles, "cycles", 50000, "cycles to simulate after set-up")
+	flag.StringVar(&expectFP, "expect-fingerprint", "", "fail (exit non-zero) unless the run's determinism fingerprint equals this hex value")
 	flag.StringVar(&vcdPath, "vcd", "", "write a VCD waveform of every NI link to this file")
 	flag.StringVar(&specPath, "spec", "", "build the platform from this JSON spec instead of flags")
 	flag.StringVar(&failLink, "fail-link", "", "kill the router link x1,y1-x2,y2 mid-run and repair around it")
@@ -99,6 +100,7 @@ func main() {
 	if url := exp.MetricsURL(); url != "" {
 		fmt.Printf("metrics: %s\n", url)
 	}
+	fingerprint := cli.AttachFingerprint(p)
 	mon := stats.NewMonitor(p)
 	var rec *trace.Recorder
 	if vcdPath != "" {
@@ -225,6 +227,13 @@ func main() {
 	fmt.Println(mon.Report("Link utilization"))
 	if err := exp.Close(); err != nil {
 		fatal("%v", err)
+	}
+	fp := fingerprint()
+	fmt.Printf("fingerprint: %016x\n", fp)
+	if expectFP != "" {
+		if err := cli.CheckFingerprint(fp, expectFP); err != nil {
+			fatal("%v", err)
+		}
 	}
 
 	if rec != nil {

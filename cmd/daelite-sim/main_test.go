@@ -1,0 +1,77 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The exit-code tests re-exec the test binary as daelite-sim itself (the
+// sentinel env var routes straight into main), so the real flag parsing,
+// report and exit paths run — including the non-zero exit the CI
+// determinism gate relies on.
+
+func TestMain(m *testing.M) {
+	if os.Getenv("DAELITE_SIM_RUN_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func runSelf(t *testing.T, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "DAELITE_SIM_RUN_MAIN=1")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("re-exec: %v\n%s", err, out)
+		}
+		return string(out), ee.ExitCode()
+	}
+	return string(out), 0
+}
+
+var fpLine = regexp.MustCompile(`fingerprint: ([0-9a-f]{16})`)
+
+// TestFingerprintExitCodes runs a small deterministic simulation, reads
+// the printed fingerprint back, and checks the -expect-fingerprint
+// contract: the right value exits 0, a wrong value exits non-zero with a
+// mismatch diagnosis.
+func TestFingerprintExitCodes(t *testing.T) {
+	args := []string{"-mesh", "2x2", "-cycles", "2000", "0,0-1,1:1@0.1"}
+	out, code := runSelf(t, args...)
+	if code != 0 {
+		t.Fatalf("baseline run exited %d:\n%s", code, out)
+	}
+	m := fpLine.FindStringSubmatch(out)
+	if m == nil {
+		t.Fatalf("no fingerprint line in output:\n%s", out)
+	}
+	fp := m[1]
+
+	out, code = runSelf(t, append([]string{"-expect-fingerprint", fp}, args...)...)
+	if code != 0 {
+		t.Fatalf("matching fingerprint exited %d:\n%s", code, out)
+	}
+
+	out, code = runSelf(t, append([]string{"-expect-fingerprint", "00000000deadbeef"}, args...)...)
+	if code == 0 {
+		t.Fatalf("mismatched fingerprint exited 0:\n%s", out)
+	}
+	if !strings.Contains(out, "fingerprint mismatch") {
+		t.Fatalf("no mismatch diagnosis in output:\n%s", out)
+	}
+}
+
+// TestBadFlagsExitNonZero guards the other fatal path.
+func TestBadFlagsExitNonZero(t *testing.T) {
+	out, code := runSelf(t, "-mesh", "2x2", "-cycles", "100", "bogus-connection")
+	if code == 0 {
+		t.Fatalf("bad connection arg exited 0:\n%s", out)
+	}
+}

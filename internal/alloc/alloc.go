@@ -66,6 +66,12 @@ type Allocator struct {
 	// use-case); the journal is dropped when the outermost commits.
 	journal []undo
 	txdepth int
+
+	// epoch counts occupancy mutations: every commit, release or
+	// rollback bumps it, so observers (the conformance checkers) can
+	// detect that the reservation set changed and rebuild their
+	// expectations without being wired into every admission path.
+	epoch uint64
 }
 
 // undo is one journal record: which occupancy word held prev before the
@@ -97,6 +103,11 @@ func New(g *topology.Graph, wheel int) *Allocator {
 
 // Wheel returns the slot-wheel size.
 func (a *Allocator) Wheel() int { return a.wheel }
+
+// Epoch returns the occupancy mutation counter: it changes whenever any
+// reservation is committed, released or rolled back. Observers compare
+// epochs to learn that the slot tables they mirror have moved.
+func (a *Allocator) Epoch() uint64 { return a.epoch }
 
 // beginTxn opens a (possibly nested) transaction and returns its journal
 // mark.
@@ -167,6 +178,7 @@ func (a *Allocator) setLinkBits(l topology.LinkID, bits uint64) {
 		a.journal = append(a.journal, undo{uLink, int32(l), a.linkOcc[l]})
 	}
 	a.linkOcc[l] = bits
+	a.epoch++
 }
 
 func (a *Allocator) setTXBits(n topology.NodeID, bits uint64) {
@@ -175,6 +187,7 @@ func (a *Allocator) setTXBits(n topology.NodeID, bits uint64) {
 		a.journal = append(a.journal, undo{uTX, int32(n), a.niTX[n]})
 	}
 	a.niTX[n] = bits
+	a.epoch++
 }
 
 func (a *Allocator) setRXBits(n topology.NodeID, bits uint64) {
@@ -183,6 +196,7 @@ func (a *Allocator) setRXBits(n topology.NodeID, bits uint64) {
 		a.journal = append(a.journal, undo{uRX, int32(n), a.niRX[n]})
 	}
 	a.niRX[n] = bits
+	a.epoch++
 }
 
 // ExcludeLink bars link l from all future allocations (fault isolation).
@@ -557,6 +571,7 @@ func (a *Allocator) Clone() *Allocator {
 		numExcluded: a.numExcluded,
 		gen:         a.gen,
 		cache:       a.cache,
+		epoch:       a.epoch,
 	}
 	return c
 }

@@ -1,0 +1,144 @@
+package cfgproto
+
+import (
+	"testing"
+
+	"daelite/internal/slots"
+)
+
+// Table-driven boundary round-trips for the 7-bit wire format: the
+// element-ID edge (126 is the last real ID, 127 is the reserved padding
+// ID, 128 does not encode) and the slot-mask edges (wheels that exactly
+// fill, underfill and overfill their 7-bit words, up to the 64-bit
+// ceiling).
+
+func TestElementIDBoundary(t *testing.T) {
+	cases := []struct {
+		name    string
+		element int
+		wantErr bool
+	}{
+		{"zero", 0, false},
+		{"last real ID", PadElement - 1, false},
+		{"pad element encodes", PadElement, false}, // burns a rotation, matches nothing
+		{"first out of range", MaxElements, true},
+		{"negative", -1, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			// Register-write path.
+			words, err := WriteRegPacket([]RegWrite{{Element: c.element, Reg: RegSelect(RegCredit, 3), Value: 0x7F}})
+			if c.wantErr {
+				if err == nil {
+					t.Fatalf("WriteRegPacket(element=%d) succeeded", c.element)
+				}
+			} else {
+				if err != nil {
+					t.Fatalf("WriteRegPacket(element=%d): %v", c.element, err)
+				}
+				if got := int(words[1].Bits); got != c.element {
+					t.Fatalf("element word %d, want %d", got, c.element)
+				}
+			}
+
+			// Path set-up path: same ID rules, checked independently.
+			ps := PathSetup{
+				Mask:  slots.MaskOf(8, 2),
+				Pairs: []Pair{{Element: c.element, Spec: RouterSpec(1, 2)}},
+			}
+			_, err = ps.Words()
+			if c.wantErr != (err != nil) {
+				t.Fatalf("PathSetup.Words(element=%d) err=%v, wantErr=%v", c.element, err, c.wantErr)
+			}
+
+			// Register-read path.
+			_, err = ReadRegPacket(c.element, RegSelect(RegFlags, 0))
+			if c.wantErr != (err != nil) {
+				t.Fatalf("ReadRegPacket(element=%d) err=%v, wantErr=%v", c.element, err, c.wantErr)
+			}
+		})
+	}
+}
+
+func TestMaskEdgeValues(t *testing.T) {
+	allOnes := func(wheel int) uint64 {
+		if wheel == 64 {
+			return ^uint64(0)
+		}
+		return (uint64(1) << uint(wheel)) - 1
+	}
+	// Wheels chosen to hit the word-packing edges: one word exactly (7),
+	// one word plus one bit (8), two words exactly (14), the largest
+	// partial top word (63) and the 64-bit ceiling.
+	wheels := []int{7, 8, 14, 63, 64}
+	for _, wheel := range wheels {
+		shapes := []struct {
+			name string
+			bits uint64
+		}{
+			{"empty", 0},
+			{"lsb only", 1},
+			{"msb only", uint64(1) << uint(wheel-1)},
+			{"all ones", allOnes(wheel)},
+			{"alternating", 0xAAAAAAAAAAAAAAAA & allOnes(wheel)},
+		}
+		for _, s := range shapes {
+			m := slots.Mask{Bits: s.bits, Size: wheel}
+			words := EncodeMask(m)
+			if len(words) != MaskWords(wheel) {
+				t.Fatalf("wheel %d %s: %d words, want %d", wheel, s.name, len(words), MaskWords(wheel))
+			}
+			got, err := DecodeMask(words, wheel)
+			if err != nil {
+				t.Fatalf("wheel %d %s: decode: %v", wheel, s.name, err)
+			}
+			if got.Bits != m.Bits || got.Size != wheel {
+				t.Fatalf("wheel %d %s: round trip %s, want %s", wheel, s.name, got, m)
+			}
+		}
+
+		// A stream with bits beyond the wheel must be rejected (except at
+		// the 64-bit ceiling, where every encodable bit is in range).
+		if wheel < 64 {
+			over := slots.Mask{Bits: allOnes(wheel), Size: wheel}
+			words := EncodeMask(over)
+			words[0].Bits |= 0x7F // drive every transmitted high-order bit
+			if _, err := DecodeMask(words, wheel); err == nil &&
+				MaskWords(wheel)*7 > wheel {
+				t.Fatalf("wheel %d: out-of-range mask bits accepted", wheel)
+			}
+		}
+	}
+}
+
+// TestWriteRegTripleRoundTrip walks a serialized multi-write packet and
+// recovers every triple, with register select and value at their 7-bit
+// maxima.
+func TestWriteRegTripleRoundTrip(t *testing.T) {
+	writes := []RegWrite{
+		{Element: 0, Reg: 0, Value: 0},
+		{Element: 63, Reg: RegSelect(RegCredit, MaxNIChannel), Value: 0x7F},
+		{Element: PadElement - 1, Reg: RegSelect(RegBus, 0x1F), Value: 0x55},
+	}
+	words, err := WriteRegPacket(writes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, count := ParseHeader(words[0])
+	if op != OpWriteReg || count != len(writes) {
+		t.Fatalf("header (%v, %d), want (%v, %d)", op, count, OpWriteReg, len(writes))
+	}
+	if len(words) != 1+3*len(writes) {
+		t.Fatalf("%d words, want %d", len(words), 1+3*len(writes))
+	}
+	for i, w := range writes {
+		e, r, v := words[1+3*i], words[2+3*i], words[3+3*i]
+		if int(e.Bits) != w.Element || r.Bits != w.Reg || v.Bits != w.Value {
+			t.Fatalf("triple %d: (%d, %#x, %#x), want (%d, %#x, %#x)",
+				i, e.Bits, r.Bits, v.Bits, w.Element, w.Reg, w.Value)
+		}
+		if RegClass(r.Bits) != RegClass(w.Reg) || RegChannel(r.Bits) != RegChannel(w.Reg) {
+			t.Fatalf("triple %d: register select fields did not survive", i)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package cli
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"daelite/internal/core"
+	"daelite/internal/sim"
+)
+
+// AttachFingerprint installs a determinism fingerprint on the platform:
+// every valid flit leaving any NI is folded (data and cycle) into an
+// order-sensitive hash, so two runs of the same seeded invocation agree
+// on the fingerprint exactly when they delivered the same words at the
+// same cycles. Attach before any traffic runs; the returned function
+// reads the fold accumulated so far.
+func AttachFingerprint(p *core.Platform) func() uint64 {
+	fp := new(sim.Fingerprint)
+	for _, id := range p.Mesh.AllNIs {
+		w := p.NI(id).OutputWire()
+		p.Sim.AddProbe(func(cycle uint64) {
+			if f := w.Get(); f.Valid {
+				*fp = fp.Mix(uint64(f.Data)).Mix(cycle)
+			}
+		})
+	}
+	return func() uint64 { return fp.Sum() }
+}
+
+// ParseFingerprint parses a fingerprint as printed by the front-ends:
+// 16 hex digits, optionally 0x-prefixed.
+func ParseFingerprint(s string) (uint64, error) {
+	v, err := strconv.ParseUint(strings.TrimPrefix(s, "0x"), 16, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad fingerprint %q: %w", s, err)
+	}
+	return v, nil
+}
+
+// CheckFingerprint compares a run's fingerprint against the value the
+// -expect-fingerprint flag carried. A mismatch is a determinism failure:
+// the front-ends exit non-zero on it.
+func CheckFingerprint(got uint64, expect string) error {
+	want, err := ParseFingerprint(expect)
+	if err != nil {
+		return err
+	}
+	if got != want {
+		return fmt.Errorf("determinism fingerprint mismatch: run %016x, expected %016x", got, want)
+	}
+	return nil
+}

@@ -98,6 +98,7 @@ func All() ([]*Result, error) {
 		UseCaseSwitch,
 		AttainedBandwidth,
 		FaultRepair,
+		ConformanceSweep,
 		AblationWheelSize,
 		AblationCooldown,
 		AblationTreeDepth,

@@ -398,6 +398,24 @@ func TestPartialReconfig(t *testing.T) {
 	}
 }
 
+func TestConformanceSweep(t *testing.T) {
+	r, err := ConformanceSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Metrics["passed"] != r.Metrics["scenarios"] || r.Metrics["scenarios"] == 0 {
+		t.Fatalf("passed %v of %v scenarios", r.Metrics["passed"], r.Metrics["scenarios"])
+	}
+	if r.Metrics["worker_mismatches"] != 0 {
+		t.Fatalf("%v scenarios diverged across kernel widths", r.Metrics["worker_mismatches"])
+	}
+	// The smoke drill is only meaningful if both corruptions were seen.
+	if r.Metrics["mutation_detected"] != 1 {
+		t.Fatalf("mutation smoke missed a corruption: table=%v credit=%v",
+			r.Metrics["mutation_table_violations"], r.Metrics["mutation_credit_violations"])
+	}
+}
+
 // TestAllSmoke runs the complete experiment suite end to end — exactly
 // what cmd/daelite-bench executes — and checks every result carries an ID,
 // an artifact, rendered text and at least one metric.
@@ -422,7 +440,7 @@ func TestAllSmoke(t *testing.T) {
 		}
 		seen[r.ID] = true
 	}
-	for _, id := range []string{"E1", "E3", "E9", "E14", "E15", "A7", "A9"} {
+	for _, id := range []string{"E1", "E3", "E9", "E14", "E15", "E18", "A7", "A9"} {
 		if !seen[id] {
 			t.Fatalf("experiment %s missing from All()", id)
 		}

@@ -294,6 +294,14 @@ func (n *NI) RxWords(ch int) uint64 { return n.channels[ch].rxWords }
 // TxWords returns the lifetime count of words injected on channel ch.
 func (n *NI) TxWords(ch int) uint64 { return n.channels[ch].txWords }
 
+// DeliveredCredits returns the destination-side unreturned-delivery
+// counter of channel ch: words handed to the IP whose credits have not
+// yet been latched for return to the remote source. Together with the
+// source credit counter, the words in flight and the receive queue it
+// completes the end-to-end credit conservation law that the conformance
+// checker verifies online.
+func (n *NI) DeliveredCredits(ch int) int { return n.channels[ch].delivered }
+
 // CreditStallCycles returns how many TX slots channel ch spent with a
 // queued word but no credit — reserved bandwidth held idle by end-to-end
 // flow control.

@@ -1,0 +1,92 @@
+package slots_test
+
+import (
+	"testing"
+
+	"daelite/internal/slots"
+)
+
+// Property fuzzer for the rotation algebra the whole allocator and
+// set-up flow lean on: slot masks form a cyclic group under rotation, so
+// rotating a full turn is the identity, up and down rotations invert
+// each other, and the per-hop mask compensation of a set-up packet (each
+// link's mask is the inject mask rotated by the cumulative slot advance)
+// is path-order independent. Seeds cover the wheel sizes the platform
+// uses plus the 64-bit boundary; `go test -fuzz FuzzRotateMaskCompensation`
+// explores further.
+
+func fuzzMask(bits uint64, sizeSel uint8) slots.Mask {
+	size := 1 + int(sizeSel)%64
+	wheel := ^uint64(0)
+	if size < 64 {
+		wheel = (1 << uint(size)) - 1
+	}
+	return slots.Mask{Bits: bits & wheel, Size: size}
+}
+
+func FuzzRotateMaskCompensation(f *testing.F) {
+	f.Add(uint64(0b1010), uint8(7), uint8(3), []byte{1, 2, 3})
+	f.Add(uint64(1), uint8(15), uint8(0), []byte{4})
+	f.Add(uint64(0xFFFF), uint8(15), uint8(31), []byte{})
+	f.Add(uint64(0x8000000000000001), uint8(63), uint8(65), []byte{9, 1, 1, 7})
+	f.Add(uint64(0), uint8(31), uint8(12), []byte{2, 2, 2, 2, 2})
+	f.Fuzz(func(t *testing.T, bits uint64, sizeSel, k uint8, adv []byte) {
+		m := fuzzMask(bits, sizeSel)
+		n := m.Size
+		kk := int(k)
+
+		// Round-trip inverse: up then down by the same amount is the
+		// identity, for any rotation, including ones past a full turn.
+		if got := m.RotateUp(kk).RotateDown(kk); got.Bits != m.Bits {
+			t.Fatalf("RotateUp(%d).RotateDown(%d) = %s, want %s", kk, kk, got, m)
+		}
+
+		// rotate^N == id: N single-slot rotations walk the wheel exactly
+		// once, and a single N-slot rotation says the same thing.
+		r := m
+		for i := 0; i < n; i++ {
+			r = r.RotateUp(1)
+		}
+		if r.Bits != m.Bits {
+			t.Fatalf("RotateUp(1)^%d = %s, want identity %s", n, r, m)
+		}
+		if got := m.RotateUp(n); got.Bits != m.Bits {
+			t.Fatalf("RotateUp(%d) = %s, want identity %s", n, got, m)
+		}
+
+		// Rotation permutes, never loses: count and membership map.
+		up := m.RotateUp(kk)
+		if up.Count() != m.Count() {
+			t.Fatalf("RotateUp(%d) changed population %d -> %d", kk, m.Count(), up.Count())
+		}
+		for s := 0; s < n; s++ {
+			if up.Has((s+kk)%n) != m.Has(s) {
+				t.Fatalf("slot %d: RotateUp(%d) membership mismatch (%s vs %s)", s, kk, m, up)
+			}
+		}
+
+		// Per-hop mask compensation: a set-up packet carries, for the
+		// j-th link, the inject mask rotated up by the cumulative slot
+		// advance of the hops before it. Accumulating hop by hop must
+		// land on the same mask as one rotation by the total — the law
+		// that lets the allocator check a whole path with one rotate per
+		// link.
+		if len(adv) > 16 {
+			adv = adv[:16]
+		}
+		hop, total := m, 0
+		for _, a := range adv {
+			step := 1 + int(a)%4 // SlotAdvance is 1 + pipeline stages
+			hop = hop.RotateUp(step)
+			total += step
+		}
+		if want := m.RotateUp(total); hop.Bits != want.Bits {
+			t.Fatalf("hop-by-hop %s != RotateUp(%d) %s", hop, total, want)
+		}
+		// And the destination can recover the inject mask by
+		// compensating the total advance back down.
+		if got := hop.RotateDown(total); got.Bits != m.Bits {
+			t.Fatalf("advance %d not compensated: %s, want %s", total, got, m)
+		}
+	})
+}
