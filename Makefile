@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet fmt race bench benchdiff bench-baseline experiments golden examples cover cover-gate conform fuzz profile clean
+.PHONY: all build test vet fmt race bench benchdiff bench-baseline experiments golden examples cover cover-gate conform fuzz profile admd soak clean
 
 all: build vet test
 
@@ -72,6 +72,21 @@ conform:
 # the CI fuzz step.
 fuzz:
 	$(GO) test ./internal/alloc -run '^$$' -fuzz FuzzVerify -fuzztime 30s
+
+# Run the admission control-plane daemon on the default 4x4 mesh with
+# durable state in ./admd.journal / ./admd.snapshot — restarting picks
+# the state back up and reprints the same allocator fingerprint.
+admd:
+	$(GO) run ./cmd/daelite-admd -journal admd.journal -snapshot admd.snapshot
+
+# The control-plane soak: the in-process race-mode soak (seeded load
+# driver + concurrent /metrics scrapes + online conformance checkers +
+# restore-fingerprint check), then the full service soak experiment E19
+# (HTTP load, quotas, DRR fairness, kill/restart replay) — the same
+# pair the CI control-plane job runs.
+soak:
+	$(GO) test -race -run 'TestSoakWithConcurrentScrape' -v ./internal/admission
+	$(GO) run ./cmd/daelite-bench -experiment E19
 
 # Profile the admission engine end to end (E17) and drop cpu.pprof /
 # mem.pprof for `go tool pprof`.

@@ -22,6 +22,7 @@ import (
 	"strings"
 	"time"
 
+	"daelite/internal/admission"
 	"daelite/internal/benchfmt"
 	"daelite/internal/core"
 	"daelite/internal/experiments"
@@ -35,7 +36,7 @@ func main() {
 	var which, outPath, cpuProfile, memProfile string
 	var listOnly, jsonOut bool
 	var workers int
-	flag.StringVar(&which, "experiment", "", "run only the experiment with this ID (E1..E18, A1..A9) or artifact substring")
+	flag.StringVar(&which, "experiment", "", "run only the experiment with this ID (E1..E19, A1..A9) or artifact substring")
 	flag.BoolVar(&listOnly, "list", false, "list experiments without running them")
 	flag.StringVar(&outPath, "o", "", "also write the output to this file (with -json: the snapshot path)")
 	flag.BoolVar(&jsonOut, "json", false, "emit a BENCH_<rev>.json machine-readable snapshot instead of tables")
@@ -116,6 +117,15 @@ func main() {
 		printResult(out, r)
 		return
 	}
+	if which != "" && wantsControlPlane(which) {
+		r, err := experiments.ControlPlaneSoak()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		printResult(out, r)
+		return
+	}
 
 	results, err := experiments.All()
 	if err != nil {
@@ -138,6 +148,11 @@ func wantsScaling(which string) bool {
 func wantsAdmission(which string) bool {
 	w := strings.ToLower(which)
 	return strings.EqualFold(which, "E17") || strings.Contains("batch admission throughput", w)
+}
+
+func wantsControlPlane(which string) bool {
+	w := strings.ToLower(which)
+	return strings.EqualFold(which, "E19") || strings.Contains("control-plane admission service", w)
 }
 
 func printResult(out io.Writer, r *experiments.Result) {
@@ -176,6 +191,7 @@ func list() {
 	fmt.Println("E16  parallel kernel scaling (cycles/sec vs mesh size vs workers; not in golden output)")
 	fmt.Println("E17  batch admission throughput (set-ups/sec vs mesh size vs workers; not in golden output)")
 	fmt.Println("E18  conformance: sim-vs-model differential sweep + mutation smoke")
+	fmt.Println("E19  control-plane admission service under multi-tenant load (req/s, fairness, restart replay; not in golden output)")
 	fmt.Println("A1   ablation: TDM wheel size")
 	fmt.Println("A2   ablation: configuration cool-down")
 	fmt.Println("A3   ablation: host placement / tree depth")
@@ -360,6 +376,17 @@ func writeJSON(outPath string) error {
 		f.Benchmarks[ab.name] = benchfmt.Entry{NsPerOp: measure(op)}
 	}
 
+	// Control plane: one full admission round trip (HTTP open decoded,
+	// drafted under DRR and quota, committed, settled, journaled, then
+	// closed) through a running service — the served-system overhead on
+	// top of BenchmarkAlloc*.
+	admOp, admCleanup, err := admission.RequestBenchOp()
+	if err != nil {
+		return err
+	}
+	f.Benchmarks["BenchmarkAdmissionRequest"] = benchfmt.Entry{NsPerOp: measure(admOp)}
+	admCleanup()
+
 	// Experiments: one timed regeneration each, headline metrics attached.
 	results, err := timedExperiments()
 	if err != nil {
@@ -385,6 +412,15 @@ func writeJSON(outPath string) error {
 	f.Benchmarks[e17.ID] = benchfmt.Entry{
 		NsPerOp: float64(time.Since(e17Start).Nanoseconds()),
 		Metrics: e17.Metrics,
+	}
+	e19Start := time.Now()
+	e19, err := experiments.ControlPlaneSoak()
+	if err != nil {
+		return err
+	}
+	f.Benchmarks[e19.ID] = benchfmt.Entry{
+		NsPerOp: float64(time.Since(e19Start).Nanoseconds()),
+		Metrics: e19.Metrics,
 	}
 
 	if outPath == "" {

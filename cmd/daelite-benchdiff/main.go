@@ -26,9 +26,10 @@ import (
 // defaultGate covers the kernel and platform micro-benchmarks the CI
 // perf job guards: BenchmarkPlatformCycle and its Telemetry variant (the
 // pair that bounds observability overhead), BenchmarkKernelStep*,
-// BenchmarkBigMesh*, and the admission-engine BenchmarkAlloc* set (churn
-// and batch set-up throughput).
-const defaultGate = `^Benchmark(PlatformCycle|KernelStep|BigMesh|Alloc)`
+// BenchmarkBigMesh*, the admission-engine BenchmarkAlloc* set (churn
+// and batch set-up throughput), and BenchmarkAdmissionRequest (one full
+// control-plane round trip through the admission service).
+const defaultGate = `^Benchmark(PlatformCycle|KernelStep|BigMesh|Alloc|Admission)`
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))

@@ -106,6 +106,12 @@ func main() {
 	linkMon := stats.NewMonitor(p)
 	linkMon.ObserveFaults(inj)
 
+	// A signal stops the kernel cleanly: the soak loop falls through, the
+	// partial reports and telemetry still get written, and the metrics
+	// endpoint drains instead of dropping scrapes.
+	unhook := cli.OnSignal(func() { p.Sim.Stop("interrupted by signal") })
+	defer unhook()
+
 	// Soak in chunks; whenever the monitor latches a stall, run one
 	// detect-diagnose-repair round. A connection whose repair fails (no
 	// path left around the exclusions) is closed and reported.
@@ -118,6 +124,9 @@ func main() {
 			step = rest
 		}
 		p.Run(step)
+		if stopped, _ := p.Sim.Stopped(); stopped {
+			break
+		}
 		if len(mon.Stalled()) == 0 {
 			continue
 		}
@@ -131,6 +140,10 @@ func main() {
 			fmt.Printf("repaired connection %d -> %d at cycle %d (%d cycles after detection)\n",
 				r.OldID, r.NewID, r.DoneCycle, r.DetectToDoneCycles())
 		}
+	}
+
+	if stopped, reason := p.Sim.Stopped(); stopped {
+		fmt.Printf("run stopped early at cycle %d: %s\n", p.Cycle(), reason)
 	}
 
 	t := report.NewTable(fmt.Sprintf("daelite-chaos — %d cycles, %d streams, %d faults, seed %d",

@@ -187,6 +187,12 @@ func main() {
 		fmt.Printf("fault scheduled: %s dies at cycle %d\n", failLink, at)
 	}
 
+	// A signal stops the kernel cleanly: the stepping loop falls through,
+	// the partial-run report and telemetry still get written, and the
+	// metrics endpoint drains instead of dropping scrapes.
+	unhook := cli.OnSignal(func() { p.Sim.Stop("interrupted by signal") })
+	defer unhook()
+
 	if hmon == nil {
 		p.Run(uint64(cycles))
 	} else {
@@ -197,6 +203,9 @@ func main() {
 				step = rest
 			}
 			p.Run(step)
+			if stopped, _ := p.Sim.Stopped(); stopped {
+				break
+			}
 			if len(hmon.Stalled()) == 0 {
 				continue
 			}
@@ -206,6 +215,10 @@ func main() {
 				fatal("repair: %v", err)
 			}
 		}
+	}
+
+	if stopped, reason := p.Sim.Stopped(); stopped {
+		fmt.Printf("run stopped early at cycle %d: %s\n", p.Cycle(), reason)
 	}
 
 	t := report.NewTable(fmt.Sprintf("daelite-sim — %d cycles", cycles),

@@ -1,0 +1,824 @@
+// Package admission is the control plane that turns the daelite library
+// into a served system: a long-running, multi-tenant set-up/teardown
+// service owning a virtual NoC platform. Clients ask for guaranteed-
+// service connections over HTTP (JSON); the service answers by driving
+// the parallel batch admission engine (alloc.Batch via core.OpenBatch)
+// and the real configuration tree, so every accepted request ends as
+// programmed slot tables on the cycle-accurate platform — the paper's
+// tens-of-microseconds set-up served as a request/response workload.
+//
+// Tenancy and fairness. Every request names a tenant. Tenants carry a
+// QoS class (gold/silver/bronze) and slot/connection quotas; queued
+// demand is drafted into admission batches by deficit round-robin over
+// the class weights, so under overload bandwidth-class shares hold and
+// no tenant starves. Backpressure is explicit: per-tenant queue bounds,
+// 503 plus Retry-After past them.
+//
+// Determinism and durability. The service advances in ticks. Each tick
+// processes teardowns, answers what-if queries (read-only DryRun — no
+// epoch bump, no journal growth), drafts opens deterministically, admits
+// them as one alloc.Batch (bit-identical for every worker count), runs
+// the configuration to settlement, and appends one record to the request
+// journal. A snapshot captures the exact committed reservations plus
+// tenant accounting; restart = adopt the snapshot verbatim + replay the
+// journal suffix, reproducing the pre-restart allocator occupancy
+// exactly — verified by comparing alloc.Fingerprint values.
+package admission
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"daelite/internal/core"
+	"daelite/internal/telemetry"
+)
+
+// Config parameterizes a Service.
+type Config struct {
+	// Tenants declares the tenant set; at least one is required.
+	Tenants []TenantConfig
+	// MaxBatch caps how many open/what-if requests one tick drafts
+	// (default 32; teardowns are always served). Bounding the batch also
+	// bounds the configuration words staged per tick well below the
+	// config module's queue depth.
+	MaxBatch int
+	// GatherWindow is how long a tick waits for more arrivals after the
+	// first before forming its batch. Zero processes immediately —
+	// lowest latency; a few hundred microseconds amortizes batches
+	// under sustained load.
+	GatherWindow time.Duration
+	// DefaultQueueDepth bounds each tenant's pending requests when its
+	// TenantConfig does not say otherwise (default 64).
+	DefaultQueueDepth int
+	// DRRQuantum is the deficit round-robin quantum in slot-cost units
+	// per weight unit per pass (default 4).
+	DRRQuantum int
+	// SettleBudget bounds the cycles one tick may run the platform to
+	// drain configuration (default 1<<20).
+	SettleBudget uint64
+	// Workers is the batch evaluation parallelism handed to alloc.Batch
+	// through core (0 = one per CPU; results are bit-identical).
+	Workers int
+	// JournalPath appends one NDJSON record per mutating tick when
+	// non-empty.
+	JournalPath string
+	// SnapshotPath is where TakeSnapshot and the shutdown path write the
+	// durable state when non-empty.
+	SnapshotPath string
+	// SnapshotEvery writes an automatic snapshot every N mutating ticks
+	// (0 = only on demand and at shutdown).
+	SnapshotEvery uint64
+	// RetryAfter is the backpressure hint attached to 503 responses
+	// (default 50ms, rounded up to whole seconds on the HTTP header).
+	RetryAfter time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 32
+	}
+	if c.DefaultQueueDepth <= 0 {
+		c.DefaultQueueDepth = 64
+	}
+	if c.DRRQuantum <= 0 {
+		c.DRRQuantum = 4
+	}
+	if c.SettleBudget == 0 {
+		c.SettleBudget = 1 << 20
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = 50 * time.Millisecond
+	}
+	return c
+}
+
+// opKind discriminates queued operations.
+type opKind int
+
+const (
+	opOpen opKind = iota
+	opClose
+	opWhatIf
+	opSnapshot
+)
+
+func (k opKind) String() string {
+	switch k {
+	case opOpen:
+		return "open"
+	case opClose:
+		return "teardown"
+	case opWhatIf:
+		return "whatif"
+	default:
+		return "snapshot"
+	}
+}
+
+// reply is one request's answer: an HTTP-ish status code plus a JSON
+// body.
+type reply struct {
+	status int
+	body   map[string]any
+}
+
+// pending is one queued request with its reply channel.
+type pending struct {
+	op     opKind
+	t      *tenant
+	spec   core.ConnectionSpec // normalized; opOpen/opWhatIf
+	cost   int                 // slot cost of spec
+	handle uint64              // opClose
+	enq    time.Time
+	reply  chan reply
+}
+
+// liveConn is the service-side record of one open connection.
+type liveConn struct {
+	handle     uint64
+	tenant     string
+	spec       core.ConnectionSpec
+	cost       int
+	conn       *core.Connection
+	openedTick uint64
+	setup      uint64 // settled set-up duration in cycles
+}
+
+// ConnInfo is the read-model of a live connection (GET /v1/connections).
+type ConnInfo struct {
+	Handle      uint64   `json:"handle"`
+	Tenant      string   `json:"tenant"`
+	Spec        WireSpec `json:"spec"`
+	SlotCost    int      `json:"slot_cost"`
+	OpenedTick  uint64   `json:"opened_tick"`
+	SetupCycles uint64   `json:"setup_cycles"`
+}
+
+// TenantInfo is the read-model of one tenant (GET /v1/tenants).
+type TenantInfo struct {
+	Name      string `json:"name"`
+	Class     Class  `json:"class"`
+	Weight    int    `json:"weight"`
+	MaxSlots  int    `json:"max_slots"`
+	MaxConns  int    `json:"max_conns"`
+	SlotsUsed int    `json:"slots_used"`
+	Conns     int    `json:"conns"`
+	Queued    int64  `json:"queued"`
+}
+
+// Service is the admission control plane over one platform. Create with
+// NewService, optionally Restore, then Start; the platform must not be
+// touched by anyone else afterwards (the service loop owns it).
+type Service struct {
+	p   *core.Platform
+	reg *telemetry.Registry
+	cfg Config
+
+	tenants map[string]*tenant
+	order   []string
+
+	arrivals chan *pending
+	control  chan *pending
+	quit     chan struct{}
+	done     chan struct{}
+	closing  atomic.Bool
+	started  atomic.Bool
+	stopOnce sync.Once
+	stopErr  error
+
+	journal *journalWriter
+
+	// Loop-owned state.
+	conns       map[uint64]*liveConn
+	nextHandle  uint64
+	tick, seq   uint64
+	queuedCount int
+	snapDirty   uint64 // mutating ticks since the last snapshot
+
+	// Shared read views, guarded by mu; the loop rebuilds them at the
+	// end of every tick so HTTP readers never touch the platform or the
+	// loop-owned maps. The slices are replaced wholesale, never mutated
+	// in place.
+	mu          sync.Mutex
+	viewFP      uint64
+	viewEp      uint64
+	viewSeq     uint64
+	viewTick    uint64
+	viewConns   []ConnInfo
+	viewTenants []TenantInfo
+
+	// Service-level metrics.
+	ticksTotal, journalRecords, snapshots *telemetry.Counter
+	batchOpenSize                         *telemetry.Histogram
+	setupCycles                           *telemetry.Histogram
+	tickGauge, liveConnsGauge             *telemetry.Gauge
+}
+
+// NewService builds a control plane over p publishing into reg. The
+// platform should be freshly built (or restored through Restore); reg
+// may be the platform's attached telemetry registry or a dedicated one.
+func NewService(p *core.Platform, reg *telemetry.Registry, cfg Config) (*Service, error) {
+	cfg = cfg.withDefaults()
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	tenants, order, err := validateTenants(cfg.Tenants, reg)
+	if err != nil {
+		return nil, err
+	}
+	s := &Service{
+		p:        p,
+		reg:      reg,
+		cfg:      cfg,
+		tenants:  tenants,
+		order:    order,
+		arrivals: make(chan *pending, 4096),
+		control:  make(chan *pending, 8),
+		quit:     make(chan struct{}),
+		done:     make(chan struct{}),
+		conns:    make(map[uint64]*liveConn),
+
+		ticksTotal:     reg.Counter("admission_ticks_total"),
+		journalRecords: reg.Counter("admission_journal_records_total"),
+		snapshots:      reg.Counter("admission_snapshots_total"),
+		batchOpenSize:  reg.Histogram("admission_batch_open_size", []uint64{1, 2, 4, 8, 16, 32, 64, 128}),
+		setupCycles:    reg.Histogram("admission_setup_cycles", nil),
+		tickGauge:      reg.Gauge("admission_tick"),
+		liveConnsGauge: reg.Gauge("admission_live_conns"),
+	}
+	if cfg.JournalPath != "" {
+		w, err := openJournal(cfg.JournalPath)
+		if err != nil {
+			return nil, err
+		}
+		s.journal = w
+	}
+	s.refreshViews()
+	return s, nil
+}
+
+// Registry returns the registry the service publishes into.
+func (s *Service) Registry() *telemetry.Registry { return s.reg }
+
+// Platform returns the owned platform. Do not touch it while the
+// service is running; it is exposed for checker attachment and tests
+// before Start / after Stop.
+func (s *Service) Platform() *core.Platform { return s.p }
+
+// Start launches the service loop. Call at most once.
+func (s *Service) Start() {
+	if s.started.Swap(true) {
+		return
+	}
+	go s.loop()
+}
+
+// Stop drains: new requests are refused, queued work is processed to
+// completion, a final snapshot is written when SnapshotPath is set, and
+// the journal is closed. Idempotent; later calls return the first
+// result.
+func (s *Service) Stop() error {
+	s.stopOnce.Do(func() {
+		s.closing.Store(true)
+		if !s.started.Load() {
+			// Never started: just close durable resources.
+			if s.journal != nil {
+				s.stopErr = s.journal.Close()
+			}
+			return
+		}
+		close(s.quit)
+		<-s.done
+	})
+	return s.stopErr
+}
+
+// Fingerprint returns the allocator occupancy fingerprint, epoch and
+// journal sequence as of the last completed tick.
+func (s *Service) Fingerprint() (fp, epoch, seq uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.viewFP, s.viewEp, s.viewSeq
+}
+
+// Tick returns the last completed tick number.
+func (s *Service) Tick() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.viewTick
+}
+
+// Conns returns the live-connection read model sorted by handle, as of
+// the last completed tick. The returned slice is shared and read-only.
+func (s *Service) Conns() []ConnInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.viewConns
+}
+
+// Tenants returns the tenant read model in deterministic name order, as
+// of the last completed tick. The returned slice is shared and
+// read-only.
+func (s *Service) Tenants() []TenantInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.viewTenants
+}
+
+// queueBound returns the tenant's pending-request bound.
+func (s *Service) queueBound(t *tenant) int64 {
+	if t.cfg.QueueDepth > 0 {
+		return int64(t.cfg.QueueDepth)
+	}
+	return int64(s.cfg.DefaultQueueDepth)
+}
+
+// errQueueFull and errShuttingDown are the submit-side refusals; the
+// HTTP layer maps both to 503 + Retry-After.
+var (
+	errQueueFull    = errors.New("admission: tenant queue full")
+	errShuttingDown = errors.New("admission: shutting down")
+)
+
+// submit places a request into the arrival queue, applying backpressure.
+// On success the reply channel will receive exactly one answer.
+func (s *Service) submit(pd *pending) error {
+	if s.closing.Load() {
+		return errShuttingDown
+	}
+	if pd.t.pending.Add(1) > s.queueBound(pd.t) {
+		pd.t.pending.Add(-1)
+		pd.t.queueFull.Inc()
+		return errQueueFull
+	}
+	select {
+	case s.arrivals <- pd:
+		return nil
+	default:
+		pd.t.pending.Add(-1)
+		pd.t.queueFull.Inc()
+		return errQueueFull
+	}
+}
+
+// --- The service loop ---
+
+func (s *Service) loop() {
+	defer close(s.done)
+	for {
+		if s.queuedCount == 0 {
+			select {
+			case pd := <-s.arrivals:
+				s.enqueue(pd)
+			case pd := <-s.control:
+				s.handleControl(pd)
+				continue
+			case <-s.quit:
+				s.drainAndShutdown()
+				return
+			}
+		}
+		s.drainControl()
+		s.gather()
+		s.runTick()
+		select {
+		case <-s.quit:
+			s.drainAndShutdown()
+			return
+		default:
+		}
+	}
+}
+
+// handleControl serves out-of-band operations (snapshot requests) at
+// tick boundaries, so they observe a quiescent platform.
+func (s *Service) handleControl(pd *pending) {
+	if err := s.takeSnapshot(); err != nil {
+		pd.reply <- reply{status: 500, body: map[string]any{"error": err.Error()}}
+		return
+	}
+	pd.reply <- reply{status: 200, body: map[string]any{"snapshot": s.cfg.SnapshotPath, "seq": s.seq}}
+}
+
+func (s *Service) drainControl() {
+	for {
+		select {
+		case pd := <-s.control:
+			s.handleControl(pd)
+		default:
+			return
+		}
+	}
+}
+
+// enqueue appends one arrival to its tenant FIFO.
+func (s *Service) enqueue(pd *pending) {
+	pd.t.fifo = append(pd.t.fifo, pd)
+	s.queuedCount++
+}
+
+// gather drains the arrival channel into the tenant FIFOs, waiting up to
+// GatherWindow for stragglers so sustained load forms real batches.
+func (s *Service) gather() {
+	for {
+		select {
+		case pd := <-s.arrivals:
+			s.enqueue(pd)
+			continue
+		default:
+		}
+		break
+	}
+	if s.cfg.GatherWindow <= 0 {
+		return
+	}
+	timer := time.NewTimer(s.cfg.GatherWindow)
+	defer timer.Stop()
+	for s.queuedCount < 2*s.cfg.MaxBatch {
+		select {
+		case pd := <-s.arrivals:
+			s.enqueue(pd)
+		case <-timer.C:
+			return
+		}
+	}
+}
+
+// drainAndShutdown processes everything still queued, writes the final
+// snapshot and closes the journal.
+func (s *Service) drainAndShutdown() {
+	for {
+		select {
+		case pd := <-s.arrivals:
+			s.enqueue(pd)
+			continue
+		default:
+		}
+		if s.queuedCount == 0 {
+			break
+		}
+		s.runTick()
+	}
+	// Unblock any control callers that raced the shutdown.
+	for {
+		select {
+		case pd := <-s.control:
+			pd.reply <- reply{status: 503, body: map[string]any{"error": errShuttingDown.Error()}}
+			continue
+		default:
+		}
+		break
+	}
+	if s.cfg.SnapshotPath != "" {
+		if err := s.takeSnapshot(); err != nil {
+			s.reg.Emit(telemetry.Event{Cycle: s.p.Cycle(), Kind: "admission-snapshot-error", Detail: err.Error()})
+		}
+	}
+	if s.journal != nil {
+		if err := s.journal.Close(); err != nil {
+			s.reg.Emit(telemetry.Event{Cycle: s.p.Cycle(), Kind: "admission-journal-error", Detail: err.Error()})
+		}
+	}
+}
+
+// popCloses extracts every queued teardown, preserving per-tenant FIFO
+// order and iterating tenants deterministically. Teardowns are always
+// served: they only free capacity.
+func (s *Service) popCloses() []*pending {
+	var closes []*pending
+	for _, name := range s.order {
+		t := s.tenants[name]
+		kept := t.fifo[:0]
+		for _, pd := range t.fifo {
+			if pd.op == opClose {
+				closes = append(closes, pd)
+				s.queuedCount--
+			} else {
+				kept = append(kept, pd)
+			}
+		}
+		t.fifo = kept
+	}
+	return closes
+}
+
+// draft forms this tick's open/what-if batch by deficit round-robin over
+// the tenant FIFOs: each pass refills every backlogged tenant's deficit
+// by weight x quantum, then serves requests from the FIFO head while the
+// deficit covers their slot cost. Quota violations are rejected at draft
+// time (exactly-at-quota is admissible) against committed usage plus the
+// tenant's earlier drafts in this same batch.
+func (s *Service) draft() (opens, whatifs []*pending) {
+	type plan struct{ slots, conns int }
+	planned := make(map[*tenant]plan)
+	total := 0
+	for total < s.cfg.MaxBatch {
+		progressed := false
+		for _, name := range s.order {
+			if total >= s.cfg.MaxBatch {
+				break
+			}
+			t := s.tenants[name]
+			if len(t.fifo) == 0 {
+				t.deficit = 0
+				continue
+			}
+			t.deficit += t.weight * s.cfg.DRRQuantum
+			if cap := 4 * t.weight * s.cfg.DRRQuantum; t.deficit > cap {
+				t.deficit = cap
+			}
+			for len(t.fifo) > 0 && total < s.cfg.MaxBatch {
+				pd := t.fifo[0]
+				cost := pd.cost
+				if pd.op == opWhatIf {
+					cost = 1
+				}
+				if t.deficit < cost {
+					break
+				}
+				t.fifo = t.fifo[1:]
+				s.queuedCount--
+				t.deficit -= cost
+				progressed = true
+				if pd.op == opOpen {
+					pl := planned[t]
+					if t.overQuota(t.slotsUsed+pl.slots, t.conns+pl.conns, pd.cost) {
+						t.quotaRejected.Inc()
+						s.answer(pd, reply{status: 429, body: map[string]any{
+							"error": fmt.Sprintf("quota exceeded: %d/%d slots used, request costs %d", t.slotsUsed+pl.slots, t.cfg.MaxSlots, pd.cost),
+						}})
+						continue
+					}
+					pl.slots += pd.cost
+					pl.conns++
+					planned[t] = pl
+					opens = append(opens, pd)
+				} else {
+					whatifs = append(whatifs, pd)
+				}
+				total++
+			}
+			if len(t.fifo) == 0 {
+				t.deficit = 0
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	return opens, whatifs
+}
+
+// runTick advances the control plane by one tick; see the package
+// comment for the phase order.
+func (s *Service) runTick() {
+	s.tick++
+	s.ticksTotal.Inc()
+
+	closes := s.popCloses()
+	closedHandles := s.processCloses(closes)
+
+	opens, whatifs := s.draft()
+	s.processWhatIfs(whatifs)
+	openRecs, openReplies := s.processOpens(opens)
+
+	mutated := len(closedHandles) > 0 || len(openRecs) > 0
+	if mutated {
+		if _, err := s.p.CompleteConfig(s.cfg.SettleBudget); err != nil {
+			s.reg.Emit(telemetry.Event{Cycle: s.p.Cycle(), Kind: "admission-settle-error", Detail: err.Error()})
+		}
+		s.seq++
+		if s.journal != nil {
+			rec := journalRecord{Seq: s.seq, Tick: s.tick, Closes: closedHandles, Opens: openRecs}
+			if err := s.journal.Append(rec); err != nil {
+				s.reg.Emit(telemetry.Event{Cycle: s.p.Cycle(), Kind: "admission-journal-error", Detail: err.Error()})
+			} else {
+				s.journalRecords.Inc()
+			}
+		}
+		s.snapDirty++
+	}
+
+	// Answer opens only now: their latency includes the configuration
+	// settling on the platform, and the replies carry the measured
+	// set-up span.
+	for _, rr := range openReplies {
+		if rr.lc != nil {
+			if rr.lc.conn.State == core.Opening {
+				rr.lc.conn.State = core.Open
+			}
+			rr.lc.setup = rr.lc.conn.SetupCycles()
+			s.setupCycles.Observe(rr.lc.setup)
+			rr.rep.body["setup_cycles"] = rr.lc.setup
+		}
+		s.answer(rr.pd, rr.rep)
+	}
+
+	if s.cfg.SnapshotEvery > 0 && s.snapDirty >= s.cfg.SnapshotEvery && s.cfg.SnapshotPath != "" {
+		if err := s.takeSnapshot(); err != nil {
+			s.reg.Emit(telemetry.Event{Cycle: s.p.Cycle(), Kind: "admission-snapshot-error", Detail: err.Error()})
+		}
+	}
+
+	s.refreshViews()
+}
+
+// processCloses tears down valid targets and answers invalid ones
+// immediately; the successful teardowns' replies are deferred to the
+// settle point by processCloses' caller answering via closeReplies.
+func (s *Service) processCloses(closes []*pending) []uint64 {
+	var handles []uint64
+	for _, pd := range closes {
+		lc, ok := s.conns[pd.handle]
+		if !ok {
+			s.answer(pd, reply{status: 404, body: map[string]any{"error": fmt.Sprintf("no connection %d", pd.handle)}})
+			continue
+		}
+		if lc.tenant != pd.t.cfg.Name {
+			s.answer(pd, reply{status: 403, body: map[string]any{"error": fmt.Sprintf("connection %d belongs to %q", pd.handle, lc.tenant)}})
+			continue
+		}
+		if err := s.p.Close(lc.conn); err != nil {
+			s.answer(pd, reply{status: 500, body: map[string]any{"error": err.Error()}})
+			continue
+		}
+		delete(s.conns, pd.handle)
+		t := s.tenants[lc.tenant]
+		t.slotsUsed -= lc.cost
+		t.conns--
+		handles = append(handles, pd.handle)
+		pd.t.accepted.Inc()
+		s.answer(pd, reply{status: 200, body: map[string]any{"handle": pd.handle, "closed": true}})
+	}
+	return handles
+}
+
+// processWhatIfs answers read-only feasibility queries via the
+// allocator's DryRun: no occupancy write, no epoch bump, no cache
+// generation change — concurrent admissions keep their path cache.
+func (s *Service) processWhatIfs(whatifs []*pending) {
+	for _, pd := range whatifs {
+		_, item, err := core.AllocItem(pd.spec)
+		if err != nil {
+			s.answer(pd, reply{status: 400, body: map[string]any{"error": err.Error()}})
+			continue
+		}
+		uc, err := s.p.Alloc.DryRun(item.Reqs)
+		if err != nil {
+			pd.t.rejected.Inc()
+			s.answer(pd, reply{status: 200, body: map[string]any{"fits": false, "reason": err.Error()}})
+			continue
+		}
+		slots := 0
+		for _, u := range uc.Unicasts {
+			slots += u.SlotCount()
+		}
+		for _, mc := range uc.Multicasts {
+			slots += mc.InjectSlots.Count()
+		}
+		pd.t.accepted.Inc()
+		s.answer(pd, reply{status: 200, body: map[string]any{"fits": true, "slots": slots}})
+	}
+}
+
+// openReply pairs a drafted open with its (deferred) answer.
+type openReply struct {
+	pd  *pending
+	rep reply
+	lc  *liveConn
+}
+
+// processOpens admits the drafted opens as one batch through the
+// platform and classifies every item for the journal: "ok" committed,
+// "nofit" failed inside the allocator batch (no occupancy effect),
+// "aborted" allocated but failed downstream (channel exhaustion) and
+// was released — replay must reproduce the commit-then-release because
+// the transient occupancy can have influenced later items' slots.
+func (s *Service) processOpens(opens []*pending) ([]journalOpen, []openReply) {
+	if len(opens) == 0 {
+		return nil, nil
+	}
+	specs := make([]core.ConnectionSpec, len(opens))
+	for i, pd := range opens {
+		specs[i] = pd.spec
+	}
+	s.batchOpenSize.Observe(uint64(len(opens)))
+	conns, errs := s.p.OpenBatch(specs)
+
+	recs := make([]journalOpen, 0, len(opens))
+	replies := make([]openReply, 0, len(opens))
+	for i, pd := range opens {
+		if err := errs[i]; err != nil {
+			outcome := outcomeAborted
+			status := 500
+			if errors.Is(err, core.ErrBatchAlloc) {
+				outcome = outcomeNoFit
+				status = 409
+			} else if errors.Is(err, core.ErrNoChannel) {
+				// Channel exhaustion is a capacity rejection to the
+				// client, but its transient reservation makes it an
+				// "aborted" for the journal (see processOpens doc).
+				status = 409
+			}
+			recs = append(recs, journalOpen{Tenant: pd.t.cfg.Name, Spec: toWireSpec(pd.spec), Outcome: outcome})
+			pd.t.rejected.Inc()
+			replies = append(replies, openReply{pd: pd, rep: reply{status: status, body: map[string]any{"error": err.Error()}}})
+			continue
+		}
+		s.nextHandle++
+		lc := &liveConn{
+			handle:     s.nextHandle,
+			tenant:     pd.t.cfg.Name,
+			spec:       pd.spec,
+			cost:       pd.cost,
+			conn:       conns[i],
+			openedTick: s.tick,
+		}
+		s.conns[lc.handle] = lc
+		pd.t.slotsUsed += pd.cost
+		pd.t.conns++
+		pd.t.accepted.Inc()
+		recs = append(recs, journalOpen{Handle: lc.handle, Tenant: pd.t.cfg.Name, Spec: toWireSpec(pd.spec), Outcome: outcomeOK})
+		replies = append(replies, openReply{
+			pd: pd,
+			rep: reply{status: 200, body: map[string]any{
+				"handle": lc.handle,
+				"slots":  pd.cost,
+				"words":  conns[i].Setup.Words,
+			}},
+			lc: lc,
+		})
+	}
+	return recs, replies
+}
+
+// answer delivers a reply exactly once and records the request's
+// admission latency.
+func (s *Service) answer(pd *pending, r reply) {
+	pd.t.pending.Add(-1)
+	if !pd.enq.IsZero() {
+		us := time.Since(pd.enq).Microseconds()
+		if us < 0 {
+			us = 0
+		}
+		pd.t.latency.Observe(uint64(us))
+	}
+	// reply is buffered (capacity 1) and each pending is answered exactly
+	// once, so this never blocks even when the requester is gone.
+	if pd.reply != nil {
+		pd.reply <- r
+	}
+}
+
+// refreshViews publishes the loop-owned state into the shared read
+// model and the gauges.
+func (s *Service) refreshViews() {
+	fp := s.p.Alloc.Fingerprint()
+	ep := s.p.Alloc.Epoch()
+	conns := make([]ConnInfo, 0, len(s.conns))
+	for _, lc := range s.conns {
+		conns = append(conns, ConnInfo{
+			Handle:      lc.handle,
+			Tenant:      lc.tenant,
+			Spec:        toWireSpec(lc.spec),
+			SlotCost:    lc.cost,
+			OpenedTick:  lc.openedTick,
+			SetupCycles: lc.setup,
+		})
+	}
+	sort.Slice(conns, func(i, j int) bool { return conns[i].Handle < conns[j].Handle })
+	tenants := make([]TenantInfo, 0, len(s.order))
+	for _, name := range s.order {
+		t := s.tenants[name]
+		tenants = append(tenants, TenantInfo{
+			Name:      t.cfg.Name,
+			Class:     t.cfg.Class,
+			Weight:    t.weight,
+			MaxSlots:  t.cfg.MaxSlots,
+			MaxConns:  t.cfg.MaxConns,
+			SlotsUsed: t.slotsUsed,
+			Conns:     t.conns,
+			Queued:    t.pending.Load(),
+		})
+	}
+	s.mu.Lock()
+	s.viewFP = fp
+	s.viewEp = ep
+	s.viewSeq = s.seq
+	s.viewTick = s.tick
+	s.viewConns = conns
+	s.viewTenants = tenants
+	s.mu.Unlock()
+	s.tickGauge.Set(int64(s.tick))
+	s.liveConnsGauge.Set(int64(len(s.conns)))
+	for _, name := range s.order {
+		t := s.tenants[name]
+		t.queueGauge.Set(t.pending.Load())
+		t.slotsGauge.Set(int64(t.slotsUsed))
+		t.connsGauge.Set(int64(t.conns))
+	}
+}

@@ -1,0 +1,535 @@
+package admission
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"daelite/internal/core"
+	"daelite/internal/telemetry"
+	"daelite/internal/topology"
+)
+
+func testPlatform(t testing.TB, w, h int) *core.Platform {
+	t.Helper()
+	p, err := core.NewMeshPlatform(topology.MeshSpec{Width: w, Height: h, NIsPerRouter: 1}, core.DefaultParams(), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func defaultTenants() []TenantConfig {
+	return []TenantConfig{
+		{Name: "alpha", Class: Gold},
+		{Name: "beta", Class: Silver},
+		{Name: "gamma", Class: Bronze},
+		{Name: "delta", Class: Bronze},
+	}
+}
+
+// testService starts a service plus HTTP server over a fresh platform
+// and tears both down with the test.
+func testService(t testing.TB, w, h int, cfg Config) (*Service, *httptest.Server) {
+	t.Helper()
+	if cfg.Tenants == nil {
+		cfg.Tenants = defaultTenants()
+	}
+	p := testPlatform(t, w, h)
+	s, err := NewService(p, telemetry.NewRegistry(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		if err := s.Stop(); err != nil {
+			t.Errorf("stop: %v", err)
+		}
+	})
+	return s, srv
+}
+
+func post(t testing.TB, base, path string, body any) (int, map[string]any) {
+	t.Helper()
+	payload, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+path, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode %s reply: %v", path, err)
+	}
+	return resp.StatusCode, out
+}
+
+func del(t testing.TB, base string, handle uint64, tenant string) (int, map[string]any) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/v1/connections/%d?tenant=%s", base, handle, tenant), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+// niRef spells NI n of the 4x4 test mesh as an "x,y" coordinate ref —
+// raw small integers would hit router node IDs, which the service
+// rejects.
+func niRef(n int) string { return fmt.Sprintf("%d,%d", n%4, n/4) }
+
+func niRefs(ns ...int) []string {
+	out := make([]string, len(ns))
+	for i, n := range ns {
+		out[i] = niRef(n)
+	}
+	return out
+}
+
+func openReq(tenant string, src, dst int, slots int) map[string]any {
+	return map[string]any{"tenant": tenant, "src": niRef(src), "dst": niRef(dst), "slots_fwd": slots}
+}
+
+func TestOpenCloseRoundTrip(t *testing.T) {
+	s, srv := testService(t, 4, 4, Config{})
+	m := s.Platform().Mesh
+
+	status, body := post(t, srv.URL, "/v1/connections", map[string]any{
+		"tenant": "alpha", "src": "0,1", "dst": "3,2", "slots_fwd": 2,
+	})
+	if status != http.StatusOK {
+		t.Fatalf("open: status %d body %v", status, body)
+	}
+	handle := uint64(body["handle"].(float64))
+	if body["setup_cycles"].(float64) <= 0 {
+		t.Fatalf("open reply has no set-up span: %v", body)
+	}
+
+	conns := s.Conns()
+	if len(conns) != 1 || conns[0].Handle != handle || conns[0].Tenant != "alpha" {
+		t.Fatalf("conns view: %+v", conns)
+	}
+	if conns[0].Spec.Src != m.NI(0, 1, 0) || conns[0].Spec.Dst != m.NI(3, 2, 0) {
+		t.Fatalf("coordinate resolution: %+v", conns[0].Spec)
+	}
+
+	// Wrong tenant cannot tear it down.
+	if status, _ := del(t, srv.URL, handle, "beta"); status != http.StatusForbidden {
+		t.Fatalf("cross-tenant close: status %d", status)
+	}
+	if status, _ := del(t, srv.URL, handle, "alpha"); status != http.StatusOK {
+		t.Fatalf("close: status %d", status)
+	}
+	if status, _ := del(t, srv.URL, handle, "alpha"); status != http.StatusNotFound {
+		t.Fatalf("double close: status %d", status)
+	}
+	if got := len(s.Conns()); got != 0 {
+		t.Fatalf("conns after close: %d", got)
+	}
+}
+
+func TestWhatIfIsReadOnly(t *testing.T) {
+	s, srv := testService(t, 4, 4, Config{})
+	fp0, ep0, seq0 := s.Fingerprint()
+
+	status, body := post(t, srv.URL, "/v1/whatif", openReq("alpha", 0, 5, 2))
+	if status != http.StatusOK || body["fits"] != true {
+		t.Fatalf("whatif: status %d body %v", status, body)
+	}
+	// Saturating demand must report fits=false, still read-only.
+	status, body = post(t, srv.URL, "/v1/whatif", openReq("alpha", 0, 5, 1000))
+	if status != http.StatusOK || body["fits"] != false {
+		t.Fatalf("whatif infeasible: status %d body %v", status, body)
+	}
+
+	fp1, ep1, seq1 := s.Fingerprint()
+	if fp1 != fp0 || ep1 != ep0 || seq1 != seq0 {
+		t.Fatalf("whatif mutated state: fp %x->%x epoch %d->%d seq %d->%d", fp0, fp1, ep0, ep1, seq0, seq1)
+	}
+}
+
+// TestQuotaEnforcement drives the documented quota arithmetic through
+// the full service: unicast costs forward+reverse slots, a multicast
+// tree costs its forward slots exactly once however many destinations
+// it reaches, and exactly-at-quota is admissible.
+func TestQuotaEnforcement(t *testing.T) {
+	cases := []struct {
+		name   string
+		quota  TenantConfig
+		reqs   []map[string]any
+		status []int
+	}{
+		{
+			name:  "exactly at slot quota admissible",
+			quota: TenantConfig{Name: "q", Class: Gold, MaxSlots: 6},
+			reqs: []map[string]any{
+				// cost 3 (fwd 2 + rev default 1), then cost 3 -> exactly 6.
+				openReq("q", 0, 5, 2),
+				openReq("q", 1, 6, 2),
+			},
+			status: []int{200, 200},
+		},
+		{
+			name:  "one past slot quota rejected",
+			quota: TenantConfig{Name: "q", Class: Gold, MaxSlots: 6},
+			reqs: []map[string]any{
+				openReq("q", 0, 5, 2), // cost 3
+				openReq("q", 1, 6, 2), // cost 3 -> at quota
+				openReq("q", 2, 7, 1), // cost 2 -> over
+			},
+			status: []int{200, 200, 429},
+		},
+		{
+			name:  "explicit reverse slots charged",
+			quota: TenantConfig{Name: "q", Class: Gold, MaxSlots: 5},
+			reqs: []map[string]any{
+				{"tenant": "q", "src": niRef(0), "dst": niRef(5), "slots_fwd": 2, "slots_rev": 4}, // cost 6 > 5
+			},
+			status: []int{429},
+		},
+		{
+			name:  "multicast tree counted once",
+			quota: TenantConfig{Name: "q", Class: Gold, MaxSlots: 4},
+			reqs: []map[string]any{
+				// 3 destinations but cost = slots_fwd = 4, exactly at quota.
+				{"tenant": "q", "src": niRef(0), "dsts": niRefs(5, 10, 15), "slots_fwd": 4},
+			},
+			status: []int{200},
+		},
+		{
+			name:  "multicast over quota rejected",
+			quota: TenantConfig{Name: "q", Class: Gold, MaxSlots: 4},
+			reqs: []map[string]any{
+				{"tenant": "q", "src": niRef(0), "dsts": niRefs(5, 10), "slots_fwd": 5},
+			},
+			status: []int{429},
+		},
+		{
+			name:  "connection count quota",
+			quota: TenantConfig{Name: "q", Class: Gold, MaxConns: 2},
+			reqs: []map[string]any{
+				openReq("q", 0, 5, 1),
+				openReq("q", 1, 6, 1),
+				openReq("q", 2, 7, 1),
+			},
+			status: []int{200, 200, 429},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, srv := testService(t, 4, 4, Config{Tenants: []TenantConfig{tc.quota}})
+			for i, req := range tc.reqs {
+				status, body := post(t, srv.URL, "/v1/connections", req)
+				if status != tc.status[i] {
+					t.Fatalf("request %d: status %d (want %d), body %v", i, status, tc.status[i], body)
+				}
+			}
+		})
+	}
+}
+
+// TestQuotaFreedByTeardown checks teardowns release quota within the
+// same service lifetime.
+func TestQuotaFreedByTeardown(t *testing.T) {
+	_, srv := testService(t, 4, 4, Config{Tenants: []TenantConfig{{Name: "q", MaxSlots: 3}}})
+	status, body := post(t, srv.URL, "/v1/connections", openReq("q", 0, 5, 2)) // cost 3
+	if status != 200 {
+		t.Fatalf("open: %d %v", status, body)
+	}
+	h := uint64(body["handle"].(float64))
+	if status, _ := post(t, srv.URL, "/v1/connections", openReq("q", 1, 6, 1)); status != 429 {
+		t.Fatalf("second open at quota: %d", status)
+	}
+	if status, _ := del(t, srv.URL, h, "q"); status != 200 {
+		t.Fatalf("close: %d", status)
+	}
+	if status, _ := post(t, srv.URL, "/v1/connections", openReq("q", 1, 6, 2)); status != 200 {
+		t.Fatalf("open after free: %d", status)
+	}
+}
+
+func TestBackpressureQueueFull(t *testing.T) {
+	// A service that is never started cannot drain its queue; submits
+	// past the tenant bound must be refused, not block.
+	p := testPlatform(t, 4, 4)
+	s, err := NewService(p, nil, Config{Tenants: []TenantConfig{{Name: "q", QueueDepth: 3}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	tn := s.tenants["q"]
+	for i := 0; i < 3; i++ {
+		pd := &pending{op: opOpen, t: tn, reply: make(chan reply, 1)}
+		if err := s.submit(pd); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	pd := &pending{op: opOpen, t: tn, reply: make(chan reply, 1)}
+	if err := s.submit(pd); err != errQueueFull {
+		t.Fatalf("submit past bound: %v", err)
+	}
+	if got := tn.queueFull.Value(); got != 1 {
+		t.Fatalf("queue_full counter: %d", got)
+	}
+}
+
+// TestDRRFairShares overloads the service from one gold and one bronze
+// tenant with identical demand and checks the gold tenant's accepted
+// share tracks its 4x weight while both make progress.
+func TestDRRFairShares(t *testing.T) {
+	tenants := []TenantConfig{
+		{Name: "gold", Class: Gold, QueueDepth: 4096},
+		{Name: "bronze", Class: Bronze, QueueDepth: 4096},
+	}
+	p := testPlatform(t, 4, 4)
+	// Quantum 1 against cost-1 requests: one full DRR round drafts
+	// weight-proportional counts (bronze 1 + gold 4 = 5) and MaxBatch 10
+	// fits exactly two rounds, so the proportion survives truncation.
+	s, err := NewService(p, nil, Config{Tenants: tenants, MaxBatch: 10, DRRQuantum: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Preload both FIFOs directly (service not started: deterministic),
+	// then observe the draft order.
+	mkPending := func(tn *tenant, i int) *pending {
+		spec := core.ConnectionSpec{Src: p.Mesh.NI(i%4, (i/4)%4, 0), Dst: p.Mesh.NI(3-(i%4), 3-((i/4)%4), 0), SlotsFwd: 1, SlotsRev: 1}
+		if spec.Src == spec.Dst {
+			spec.Dst = p.Mesh.NI((i+1)%4, 0, 0)
+		}
+		return &pending{op: opWhatIf, t: tn, spec: spec, cost: SlotCost(spec), reply: make(chan reply, 1)}
+	}
+	for i := 0; i < 100; i++ {
+		s.enqueue(mkPending(s.tenants["gold"], i))
+		s.enqueue(mkPending(s.tenants["bronze"], i))
+	}
+	counts := map[string]int{}
+	// Draft a few batches and count per-tenant drafts.
+	for round := 0; round < 5; round++ {
+		opens, whatifs := s.draft()
+		for _, pd := range append(opens, whatifs...) {
+			counts[pd.t.cfg.Name]++
+		}
+	}
+	if counts["gold"] == 0 || counts["bronze"] == 0 {
+		t.Fatalf("starvation: %v", counts)
+	}
+	ratio := float64(counts["gold"]) / float64(counts["bronze"])
+	if ratio < 2.5 || ratio > 6 {
+		t.Fatalf("gold/bronze draft ratio %.2f (want ~4): %v", ratio, counts)
+	}
+}
+
+// TestSnapshotReplayFingerprint is the durability acceptance test: run
+// a mixed workload, stop, then bring up a fresh platform from the
+// snapshot + journal and require the identical allocator fingerprint.
+func TestSnapshotReplayFingerprint(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{
+		Tenants:       defaultTenants(),
+		JournalPath:   filepath.Join(dir, "journal.ndjson"),
+		SnapshotPath:  filepath.Join(dir, "snapshot.json"),
+		SnapshotEvery: 7, // force mid-run snapshots so replay starts from a suffix
+	}
+	s, srv := testService(t, 4, 4, cfg)
+
+	var handles []uint64
+	tenants := []string{"alpha", "beta", "gamma", "delta"}
+	for i := 0; i < 60; i++ {
+		tn := tenants[i%len(tenants)]
+		switch {
+		case i%5 == 4 && len(handles) > 0:
+			h := handles[0]
+			handles = handles[1:]
+			del(t, srv.URL, h, tenants[0])
+		case i%7 == 3:
+			post(t, srv.URL, "/v1/connections", map[string]any{
+				"tenant": tn, "src": niRef(i % 16), "dsts": niRefs((i+3)%16, (i+7)%16), "slots_fwd": 1 + i%2,
+			})
+		default:
+			status, body := post(t, srv.URL, "/v1/connections", openReq(tn, i%16, (i+5)%16, 1+i%3))
+			if status == 200 && tn == tenants[0] {
+				handles = append(handles, uint64(body["handle"].(float64)))
+			}
+		}
+	}
+
+	srv.Close()
+	if err := s.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	wantFP, _, wantSeq := s.Fingerprint()
+	wantConns := len(s.Conns())
+	wantTenants := s.Tenants()
+
+	// "Restart": fresh platform, same durable state.
+	p2 := testPlatform(t, 4, 4)
+	s2, err := NewService(p2, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s2.Restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Stop()
+
+	gotFP, _, gotSeq := s2.Fingerprint()
+	if gotFP != wantFP {
+		t.Fatalf("fingerprint after restore: %016x, want %016x (report %+v)", gotFP, wantFP, rep)
+	}
+	if gotSeq != wantSeq {
+		t.Fatalf("journal cursor after restore: %d, want %d", gotSeq, wantSeq)
+	}
+	if got := len(s2.Conns()); got != wantConns {
+		t.Fatalf("conns after restore: %d, want %d", got, wantConns)
+	}
+	gotTenants := s2.Tenants()
+	for i := range wantTenants {
+		if wantTenants[i].SlotsUsed != gotTenants[i].SlotsUsed || wantTenants[i].Conns != gotTenants[i].Conns {
+			t.Fatalf("tenant %s accounting after restore: %+v, want %+v", wantTenants[i].Name, gotTenants[i], wantTenants[i])
+		}
+	}
+	if rep.AdoptedConns == 0 && rep.ReplayedRecords == 0 {
+		t.Fatalf("restore did nothing: %+v", rep)
+	}
+
+	// The restored service must keep serving.
+	s2.Start()
+	srv2 := httptest.NewServer(s2.Handler())
+	defer srv2.Close()
+	// 200 when capacity remains, 409 when the workload filled the wheel —
+	// either proves the restored service is live and consistent.
+	if status, body := post(t, srv2.URL, "/v1/connections", openReq("beta", 2, 9, 1)); status != 200 && status != 409 {
+		t.Fatalf("open after restore: %d %v", status, body)
+	}
+}
+
+// TestJournalOnlyReplay restores with no snapshot at all: the entire
+// history replays from the empty platform.
+func TestJournalOnlyReplay(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Tenants: defaultTenants(), JournalPath: filepath.Join(dir, "journal.ndjson")}
+	s, srv := testService(t, 4, 4, cfg)
+	var lastHandle uint64
+	for i := 0; i < 20; i++ {
+		status, body := post(t, srv.URL, "/v1/connections", openReq("alpha", i%16, (i+5)%16, 1))
+		if status == 200 {
+			lastHandle = uint64(body["handle"].(float64))
+		}
+	}
+	del(t, srv.URL, lastHandle, "alpha")
+	srv.Close()
+	if err := s.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	wantFP, _, _ := s.Fingerprint()
+
+	p2 := testPlatform(t, 4, 4)
+	s2, err := NewService(p2, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Stop()
+	rep, err := s2.Restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SnapshotSeq != 0 || rep.AdoptedConns != 0 {
+		t.Fatalf("unexpected snapshot use: %+v", rep)
+	}
+	if gotFP, _, _ := s2.Fingerprint(); gotFP != wantFP {
+		t.Fatalf("journal-only fingerprint: %016x, want %016x", gotFP, wantFP)
+	}
+}
+
+// TestSnapshotGeometryMismatch must fail loudly, not adopt nonsense.
+func TestSnapshotGeometryMismatch(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Tenants: defaultTenants(), SnapshotPath: filepath.Join(dir, "snapshot.json")}
+	s, srv := testService(t, 4, 4, cfg)
+	post(t, srv.URL, "/v1/connections", openReq("alpha", 0, 5, 1))
+	srv.Close()
+	if err := s.Stop(); err != nil {
+		t.Fatal(err)
+	}
+
+	p2 := testPlatform(t, 3, 3)
+	s2, err := NewService(p2, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Stop()
+	if _, err := s2.Restore(); err == nil {
+		t.Fatal("restore adopted a snapshot for a different platform")
+	}
+}
+
+func TestGracefulStopDrains(t *testing.T) {
+	s, srv := testService(t, 4, 4, Config{})
+	// Queue work, then stop: every queued request must still be answered.
+	type res struct {
+		status int
+	}
+	results := make(chan res, 16)
+	for i := 0; i < 16; i++ {
+		go func(i int) {
+			status, _ := post(t, srv.URL, "/v1/connections", openReq("alpha", i%16, (i+3)%16, 1))
+			results <- res{status}
+		}(i)
+	}
+	deadline := time.After(10 * time.Second)
+	for i := 0; i < 16; i++ {
+		select {
+		case r := <-results:
+			if r.status != 200 && r.status != 409 && r.status != 503 {
+				t.Fatalf("unexpected status %d", r.status)
+			}
+		case <-deadline:
+			t.Fatal("requests unanswered")
+		}
+	}
+	if err := s.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	// After stop, submits are refused.
+	if err := s.submit(&pending{op: opOpen, t: s.tenants["alpha"], reply: make(chan reply, 1)}); err != errShuttingDown {
+		t.Fatalf("submit after stop: %v", err)
+	}
+}
+
+func TestJournalTornTailIgnored(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "journal.ndjson")
+	good := journalRecord{Seq: 1, Tick: 1, Opens: []journalOpen{{Handle: 1, Tenant: "alpha", Outcome: outcomeOK}}}
+	data, _ := json.Marshal(good)
+	if err := os.WriteFile(path, append(append(data, '\n'), []byte(`{"seq":2,"tick":2,"op`)...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := readJournal(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Seq != 1 {
+		t.Fatalf("torn tail: %+v", recs)
+	}
+}

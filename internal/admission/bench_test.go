@@ -1,0 +1,22 @@
+package admission
+
+import "testing"
+
+// BenchmarkAdmissionRequest times one complete control-plane round trip:
+// an HTTP open decoded, queued, drafted under DRR and quota, committed
+// through the platform batch engine with configuration settled and the
+// journal sequence advanced, then the handle closed the same way. The
+// same workload backs the BenchmarkAdmissionRequest entry of the
+// machine-readable snapshot (cmd/daelite-bench -json), which CI gates
+// with cmd/daelite-benchdiff.
+func BenchmarkAdmissionRequest(b *testing.B) {
+	op, cleanup, err := RequestBenchOp()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cleanup()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op()
+	}
+}

@@ -1,0 +1,107 @@
+package admission
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// The request journal is NDJSON: one journalRecord per mutating tick, in
+// tick order. Replay correctness depends on recording *batches*, not
+// individual requests: the batch engine's phase-2 conflict re-evaluation
+// means an item's slots can depend on every earlier item of the same
+// batch — including items that committed a reservation and then failed
+// downstream (outcome "aborted"). Replay therefore re-forms the exact
+// batch (every allocation-touching attempt, in order) and closes the
+// aborted items afterwards, which reproduces occupancy bit-for-bit.
+
+// Outcome classifies one open attempt for replay.
+const (
+	outcomeOK      = "ok"      // committed; Handle is live
+	outcomeNoFit   = "nofit"   // failed inside the allocator; no occupancy effect
+	outcomeAborted = "aborted" // allocated, then failed downstream and was released
+)
+
+// journalOpen is one open attempt of a batch.
+type journalOpen struct {
+	Handle  uint64   `json:"handle,omitempty"` // only for outcome "ok"
+	Tenant  string   `json:"tenant"`
+	Spec    WireSpec `json:"spec"`
+	Outcome string   `json:"outcome"`
+}
+
+// journalRecord is one mutating tick: teardowns applied first, then the
+// open batch.
+type journalRecord struct {
+	Seq    uint64        `json:"seq"`
+	Tick   uint64        `json:"tick"`
+	Closes []uint64      `json:"closes,omitempty"`
+	Opens  []journalOpen `json:"opens,omitempty"`
+}
+
+// journalWriter appends records to an NDJSON file, flushing after every
+// record so a killed process loses at most the record being written.
+type journalWriter struct {
+	f   *os.File
+	buf *bufio.Writer
+	enc *json.Encoder
+}
+
+func openJournal(path string) (*journalWriter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("admission: open journal: %w", err)
+	}
+	buf := bufio.NewWriter(f)
+	return &journalWriter{f: f, buf: buf, enc: json.NewEncoder(buf)}, nil
+}
+
+func (w *journalWriter) Append(rec journalRecord) error {
+	if err := w.enc.Encode(rec); err != nil {
+		return err
+	}
+	return w.buf.Flush()
+}
+
+func (w *journalWriter) Close() error {
+	if err := w.buf.Flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// readJournal loads every well-formed record with Seq > afterSeq, in file
+// order. A trailing partial line (torn write from a kill) is ignored.
+func readJournal(path string, afterSeq uint64) ([]journalRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("admission: read journal: %w", err)
+	}
+	defer f.Close()
+	var out []journalRecord
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec journalRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			// Torn tail write; everything before it is intact.
+			break
+		}
+		if rec.Seq > afterSeq {
+			out = append(out, rec)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("admission: read journal: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,121 @@
+package admission
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"daelite/internal/conformance"
+	"daelite/internal/telemetry"
+)
+
+// TestSoakWithConcurrentScrape hammers the service with the seeded load
+// driver while a scraper goroutine reads /metrics, /v1/tenants and
+// /v1/fingerprint the whole time — the data-race surface between the
+// service loop, the HTTP handlers and the telemetry exporters, meant to
+// run under -race. The platform carries the conformance checkers, so
+// every admitted configuration is also checked against the analytical
+// model; any violation fails the soak.
+func TestSoakWithConcurrentScrape(t *testing.T) {
+	requests := 2500
+	if testing.Short() {
+		requests = 300
+	}
+	dir := t.TempDir()
+	cfg := Config{
+		Tenants: []TenantConfig{
+			{Name: "alpha", Class: Gold, MaxSlots: 40, QueueDepth: 256},
+			{Name: "beta", Class: Silver, MaxSlots: 30, QueueDepth: 256},
+			{Name: "gamma", Class: Bronze, MaxSlots: 20, QueueDepth: 256},
+			{Name: "delta", Class: Bronze, MaxSlots: 20, QueueDepth: 256},
+		},
+		GatherWindow:  100 * time.Microsecond,
+		JournalPath:   filepath.Join(dir, "journal.ndjson"),
+		SnapshotPath:  filepath.Join(dir, "snapshot.json"),
+		SnapshotEvery: 64,
+	}
+	p := testPlatform(t, 4, 4)
+	reg := telemetry.NewRegistry()
+	s, err := NewService(p, reg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck := conformance.Attach(p, reg, conformance.Options{SampleEvery: 128})
+	s.Start()
+	srv := httptest.NewServer(s.Handler())
+
+	stopScrape := make(chan struct{})
+	scrapeDone := make(chan int)
+	go func() {
+		scrapes := 0
+		client := &http.Client{Timeout: 5 * time.Second}
+		for {
+			select {
+			case <-stopScrape:
+				scrapeDone <- scrapes
+				return
+			default:
+			}
+			for _, path := range []string{"/metrics", "/v1/tenants", "/v1/fingerprint", "/v1/connections"} {
+				resp, err := client.Get(srv.URL + path)
+				if err != nil {
+					continue // server may be closing
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+			scrapes++
+		}
+	}()
+
+	rep, err := RunLoad(LoadConfig{
+		BaseURL:     srv.URL,
+		Requests:    requests,
+		Concurrency: 8,
+		Seed:        0xda31,
+		Retry503:    true,
+	})
+	close(stopScrape)
+	scrapes := <-scrapeDone
+	srv.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Stop(); err != nil {
+		t.Fatal(err)
+	}
+
+	if scrapes == 0 {
+		t.Fatal("scraper never completed a pass")
+	}
+	if rep.Requests != requests {
+		t.Fatalf("sent %d of %d requests", rep.Requests, requests)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("request errors during soak: %d\n%s", rep.Errors, rep)
+	}
+	if rep.Accepted == 0 {
+		t.Fatalf("nothing accepted:\n%s", rep)
+	}
+	if v := ck.Violations(); v != 0 {
+		t.Fatalf("%d conformance violations during soak: %+v", v, ck.Recorded())
+	}
+
+	// The soak's durable state must restore to the same fingerprint.
+	wantFP, _, _ := s.Fingerprint()
+	p2 := testPlatform(t, 4, 4)
+	s2, err := NewService(p2, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Stop()
+	if _, err := s2.Restore(); err != nil {
+		t.Fatal(err)
+	}
+	if gotFP, _, _ := s2.Fingerprint(); gotFP != wantFP {
+		t.Fatalf("post-soak restore fingerprint %016x, want %016x", gotFP, wantFP)
+	}
+}

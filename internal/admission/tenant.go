@@ -1,0 +1,154 @@
+package admission
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"daelite/internal/core"
+	"daelite/internal/telemetry"
+)
+
+// Class is a tenant's QoS class. Classes map to deficit-round-robin
+// weights at batch formation: under overload a gold tenant drafts four
+// requests into each admission batch for every one a bronze tenant
+// drafts, in the spirit of the guaranteed-allocation share model of Even
+// & Fais (PAPERS.md). Classes never affect *whether* an individual
+// request fits — that is the allocator's contention-free check — only
+// how queued demand is ordered into batches.
+type Class string
+
+const (
+	Gold   Class = "gold"
+	Silver Class = "silver"
+	Bronze Class = "bronze"
+)
+
+// Weight returns the DRR weight of the class; unknown classes weigh 1.
+func (c Class) Weight() int {
+	switch c {
+	case Gold:
+		return 4
+	case Silver:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// TenantConfig declares one tenant of the control plane.
+type TenantConfig struct {
+	// Name identifies the tenant in requests, metrics and the journal.
+	Name string `json:"name"`
+	// Class selects the QoS weight (gold/silver/bronze).
+	Class Class `json:"class"`
+	// MaxSlots caps the tenant's total reserved injection slots: a
+	// unicast connection costs SlotsFwd+SlotsRev, a multicast tree costs
+	// SlotsFwd exactly once however many destinations it reaches.
+	// Zero means unlimited.
+	MaxSlots int `json:"max_slots"`
+	// MaxConns caps the tenant's live connections; zero means unlimited.
+	MaxConns int `json:"max_conns"`
+	// QueueDepth bounds the tenant's pending (queued, unanswered)
+	// requests; past it the service answers 503 with Retry-After.
+	// Zero selects the service default.
+	QueueDepth int `json:"queue_depth,omitempty"`
+}
+
+// SlotCost returns the quota charge of a spec: forward plus (normalized)
+// reverse slots for unicast, the tree's injection slots exactly once for
+// multicast.
+func SlotCost(spec core.ConnectionSpec) int {
+	if len(spec.Dsts) > 0 {
+		return spec.SlotsFwd
+	}
+	rev := spec.SlotsRev
+	if rev <= 0 {
+		rev = 1
+	}
+	return spec.SlotsFwd + rev
+}
+
+// tenant is the runtime state of one configured tenant. All fields
+// except pending are owned by the service loop goroutine; pending is
+// shared with HTTP handler goroutines for backpressure.
+type tenant struct {
+	cfg    TenantConfig
+	weight int
+
+	// pending counts requests accepted into the arrival queue but not
+	// yet answered — the backpressure signal the handlers check.
+	pending atomic.Int64
+
+	// fifo is the tenant's queued work awaiting batch formation, in
+	// arrival order.
+	fifo []*pending
+
+	// deficit is the DRR counter in slot-cost units.
+	deficit int
+
+	// Committed usage.
+	slotsUsed int
+	conns     int
+
+	// Telemetry handles (created once; labels are per-tenant).
+	accepted, rejected, quotaRejected, queueFull *telemetry.Counter
+	latency                                      *telemetry.Histogram
+	queueGauge, slotsGauge, connsGauge           *telemetry.Gauge
+}
+
+// LatencyBucketsUS are the admission-latency histogram bounds in
+// microseconds (client-observable wall clock, not simulation cycles).
+var LatencyBucketsUS = []uint64{50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000, 100000, 250000, 1000000}
+
+func newTenant(cfg TenantConfig, reg *telemetry.Registry) *tenant {
+	lt := telemetry.L("tenant", cfg.Name)
+	return &tenant{
+		cfg:           cfg,
+		weight:        cfg.Class.Weight(),
+		accepted:      reg.Counter("admission_requests_total", lt, telemetry.L("outcome", "accepted")),
+		rejected:      reg.Counter("admission_requests_total", lt, telemetry.L("outcome", "rejected")),
+		quotaRejected: reg.Counter("admission_requests_total", lt, telemetry.L("outcome", "quota")),
+		queueFull:     reg.Counter("admission_requests_total", lt, telemetry.L("outcome", "queue_full")),
+		latency:       reg.Histogram("admission_latency_us", LatencyBucketsUS, lt),
+		queueGauge:    reg.Gauge("admission_queue_depth", lt),
+		slotsGauge:    reg.Gauge("admission_slots_in_use", lt),
+		connsGauge:    reg.Gauge("admission_conns", lt),
+	}
+}
+
+// overQuota reports whether admitting cost more slots (and one more
+// connection) would exceed the tenant's quotas given planned usage from
+// earlier drafts of the same batch. Exactly-at-quota is admissible.
+func (t *tenant) overQuota(plannedSlots, plannedConns, cost int) bool {
+	if t.cfg.MaxSlots > 0 && plannedSlots+cost > t.cfg.MaxSlots {
+		return true
+	}
+	if t.cfg.MaxConns > 0 && plannedConns+1 > t.cfg.MaxConns {
+		return true
+	}
+	return false
+}
+
+// validateTenants checks a tenant set for duplicates and empty names and
+// returns the runtime map plus the deterministic service iteration order
+// (sorted by name — batch formation must not depend on map order).
+func validateTenants(cfgs []TenantConfig, reg *telemetry.Registry) (map[string]*tenant, []string, error) {
+	if len(cfgs) == 0 {
+		return nil, nil, fmt.Errorf("admission: no tenants configured")
+	}
+	tenants := make(map[string]*tenant, len(cfgs))
+	order := make([]string, 0, len(cfgs))
+	for _, cfg := range cfgs {
+		if cfg.Name == "" {
+			return nil, nil, fmt.Errorf("admission: tenant with empty name")
+		}
+		if _, dup := tenants[cfg.Name]; dup {
+			return nil, nil, fmt.Errorf("admission: duplicate tenant %q", cfg.Name)
+		}
+		tenants[cfg.Name] = newTenant(cfg, reg)
+		order = append(order, cfg.Name)
+	}
+	sort.Strings(order)
+	return tenants, order, nil
+}

@@ -33,6 +33,25 @@ type BatchStats struct {
 	Workers   int
 }
 
+// DryRun answers a what-if query: would this use-case fit right now, and
+// with which paths and slots? It evaluates against a read snapshot of the
+// current occupancy, so the live allocator is untouched in every
+// observable way — no occupancy write, no journal growth, no Epoch bump
+// (a bumped epoch would force conformance checkers to resync), and no
+// path-cache generation change (the clone shares the cache read-only).
+// The returned allocation is a prediction, not a reservation: nothing is
+// held, and a later admission may take the slots it names.
+//
+// Like Batch, DryRun must not run concurrently with mutations of the
+// allocator; concurrent DryRuns against a quiescent allocator are safe.
+func (a *Allocator) DryRun(reqs []Request) (*UseCaseAlloc, error) {
+	snap := a.Clone()
+	mark := snap.beginTxn()
+	uc, err := snap.AllocateUseCase(reqs)
+	snap.abortTxn(mark)
+	return uc, err
+}
+
 // Batch admits many request groups with the optimistic-concurrency shape
 // of the sim kernel: phase 1 what-if-evaluates every item concurrently
 // against a read snapshot of the current occupancy (workers <= 0 means

@@ -9,11 +9,13 @@
 package cli
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
+	"time"
 
 	"daelite/internal/core"
 	"daelite/internal/telemetry"
@@ -140,8 +142,10 @@ func (e *Exporters) MetricsURL() string {
 }
 
 // Close finishes the exporters: it forces a final harvest, writes the
-// NDJSON snapshot if -telemetry-out was given, and stops the HTTP server.
-// Call from the goroutine that stepped the simulation, after the run.
+// NDJSON snapshot if -telemetry-out was given, and shuts the HTTP
+// server down gracefully — in-flight scrapes get up to two seconds to
+// complete (they see the final harvest), stragglers are cut off. Call
+// from the goroutine that stepped the simulation, after the run.
 func (e *Exporters) Close() error {
 	if e == nil {
 		return nil
@@ -161,7 +165,13 @@ func (e *Exporters) Close() error {
 		}
 	}
 	if e.srv != nil {
-		if err := e.srv.Close(); err != nil && firstErr == nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		err := e.srv.Shutdown(ctx)
+		cancel()
+		if err != nil {
+			err = e.srv.Close()
+		}
+		if err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}

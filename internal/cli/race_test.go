@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"daelite/internal/core"
 	"daelite/internal/fault"
@@ -84,6 +85,12 @@ func TestScrapeDuringRepair(t *testing.T) {
 		if len(res) > 0 && res[0].Conn != nil {
 			repaired = true
 		}
+	}
+	// On a fast machine the soak can finish before a scraper completes a
+	// single request; keep the server up until at least one lands so the
+	// success assertion below measures the handler, not the scheduler.
+	for deadline := time.Now().Add(5 * time.Second); scrapes.Load() == 0 && time.Now().Before(deadline); {
+		time.Sleep(time.Millisecond)
 	}
 	stop.Store(true)
 	wg.Wait()

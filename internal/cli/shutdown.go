@@ -1,0 +1,63 @@
+package cli
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// OnSignal registers fn to run (in its own goroutine) when the process
+// receives its first SIGINT or SIGTERM, and returns a cancel function
+// that unregisters the handler. A second signal while fn is still
+// running force-exits with the conventional 128+SIGINT status — the
+// escape hatch when a drain hangs.
+//
+// Batch commands (daelite-sim, daelite-chaos) use this to stop the
+// simulation kernel cleanly — sim.Stop is thread-safe — so the run
+// falls out of its stepping loop, writes its reports and telemetry
+// snapshot, and shuts the metrics endpoint down instead of dying with
+// scrapes in flight.
+func OnSignal(fn func()) (cancel func()) {
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, syscall.SIGINT, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		select {
+		case sig := <-ch:
+			fmt.Fprintf(os.Stderr, "received %s, shutting down (signal again to force)\n", sig)
+			go fn()
+			select {
+			case sig = <-ch:
+				fmt.Fprintf(os.Stderr, "received %s again, exiting\n", sig)
+				os.Exit(130)
+			case <-done:
+			}
+		case <-done:
+		}
+	}()
+	return func() {
+		signal.Stop(ch)
+		close(done)
+	}
+}
+
+// ShutdownContext returns a context cancelled on the first SIGINT or
+// SIGTERM; a second signal force-exits. Long-running services
+// (daelite-admd) block on <-ctx.Done() and then drain.
+func ShutdownContext() (context.Context, context.CancelFunc) {
+	ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		<-ctx.Done()
+		// Re-arm: NotifyContext stops listening once cancelled, so a
+		// second signal would otherwise kill the process mid-snapshot
+		// with the default action. Catch it and exit deliberately.
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, syscall.SIGINT, syscall.SIGTERM)
+		sig := <-ch
+		fmt.Fprintf(os.Stderr, "received %s during drain, exiting\n", sig)
+		os.Exit(130)
+	}()
+	return ctx, cancel
+}

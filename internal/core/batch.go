@@ -1,11 +1,27 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"daelite/internal/alloc"
 	"daelite/internal/topology"
 )
+
+// ErrBatchAlloc wraps batch-item failures that happened inside the
+// allocator (no capacity, no path): the item had no effect on occupancy.
+// Callers distinguish these "nofit" outcomes from downstream failures
+// (channel exhaustion after a committed reservation, which OpenBatch
+// rolls back) with errors.Is.
+var ErrBatchAlloc = errors.New("batch allocation failed")
+
+// ErrNoChannel marks NI channel exhaustion: the slot reservation fit,
+// but an endpoint had no free local channel and the reservation was
+// rolled back. Like a nofit it is a capacity condition — the request
+// may succeed once a connection at that endpoint closes — but unlike a
+// nofit the transient reservation can have influenced later items of
+// the same batch, so replay-exact callers record it separately.
+var ErrNoChannel = errors.New("out of channels")
 
 // chanPref carries the NI channel preferences of one batch entry (repair
 // re-opens a connection on the channel indices its endpoints are bound
@@ -31,31 +47,42 @@ func (p *Platform) OpenBatch(specs []ConnectionSpec) ([]*Connection, []error) {
 	return p.openBatch(specs, prefs)
 }
 
+// AllocItem translates a connection spec into the allocator batch item
+// Open and OpenBatch evaluate — the forward+reverse request pair for
+// unicast (SlotsRev defaulting to 1, as the credit return path needs at
+// least one slot), or the single tree request for multicast. It returns
+// the normalized spec alongside. The admission control plane's journal
+// replay uses the same translation, so a replayed batch is guaranteed to
+// put the identical demand before the allocator.
+func AllocItem(spec ConnectionSpec) (ConnectionSpec, alloc.BatchItem, error) {
+	if spec.SlotsFwd <= 0 {
+		return spec, alloc.BatchItem{}, fmt.Errorf("core: SlotsFwd must be positive")
+	}
+	if spec.multicast() {
+		return spec, alloc.BatchItem{Reqs: []alloc.Request{
+			{Src: spec.Src, Dsts: spec.Dsts, Slots: spec.SlotsFwd},
+		}}, nil
+	}
+	if spec.SlotsRev <= 0 {
+		spec.SlotsRev = 1
+	}
+	opts := spec.allocOptions()
+	return spec, alloc.BatchItem{Reqs: []alloc.Request{
+		{Src: spec.Src, Dst: spec.Dst, Slots: spec.SlotsFwd, Opts: opts},
+		{Src: spec.Dst, Dst: spec.Src, Slots: spec.SlotsRev, Opts: opts},
+	}}, nil
+}
+
 func (p *Platform) openBatch(specs []ConnectionSpec, prefs []chanPref) ([]*Connection, []error) {
 	items := make([]alloc.BatchItem, len(specs))
 	normalized := make([]ConnectionSpec, len(specs))
 	preErr := make([]error, len(specs))
 	for i, spec := range specs {
-		if spec.SlotsFwd <= 0 {
-			preErr[i] = fmt.Errorf("core: SlotsFwd must be positive")
+		if err := p.validateEndpoints(spec); err != nil {
+			preErr[i] = err
 			continue
 		}
-		if spec.multicast() {
-			normalized[i] = spec
-			items[i] = alloc.BatchItem{Reqs: []alloc.Request{
-				{Src: spec.Src, Dsts: spec.Dsts, Slots: spec.SlotsFwd},
-			}}
-			continue
-		}
-		if spec.SlotsRev <= 0 {
-			spec.SlotsRev = 1
-		}
-		normalized[i] = spec
-		opts := spec.allocOptions()
-		items[i] = alloc.BatchItem{Reqs: []alloc.Request{
-			{Src: spec.Src, Dst: spec.Dst, Slots: spec.SlotsFwd, Opts: opts},
-			{Src: spec.Dst, Dst: spec.Src, Slots: spec.SlotsRev, Opts: opts},
-		}}
+		normalized[i], items[i], preErr[i] = AllocItem(spec)
 	}
 
 	results, _ := p.Alloc.Batch(items, p.Params.Workers)
@@ -69,7 +96,7 @@ func (p *Platform) openBatch(specs []ConnectionSpec, prefs []chanPref) ([]*Conne
 		}
 		r := results[i]
 		if r.Err != nil {
-			errs[i] = fmt.Errorf("core: batch allocation: %w", r.Err)
+			errs[i] = fmt.Errorf("core: %w: %w", ErrBatchAlloc, r.Err)
 			continue
 		}
 		spec := normalized[i]

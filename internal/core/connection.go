@@ -107,10 +107,38 @@ func (p *Platform) Open(spec ConnectionSpec) (*Connection, error) {
 	if spec.SlotsFwd <= 0 {
 		return nil, fmt.Errorf("core: SlotsFwd must be positive")
 	}
+	if err := p.validateEndpoints(spec); err != nil {
+		return nil, err
+	}
 	if spec.multicast() {
 		return p.openMulticast(spec, -1, nil)
 	}
 	return p.openUnicast(spec, -1, -1)
+}
+
+// validateEndpoints rejects specs whose endpoints are not NIs of this
+// platform, before any allocator state is touched. A router endpoint
+// would otherwise allocate a path and a phantom channel and blow up the
+// first component that asks the platform for the endpoint NI.
+func (p *Platform) validateEndpoints(spec ConnectionSpec) error {
+	check := func(id topology.NodeID, role string) error {
+		if p.NIs[id] == nil {
+			return fmt.Errorf("core: %s node %d is not an NI of this platform", role, id)
+		}
+		return nil
+	}
+	if err := check(spec.Src, "src"); err != nil {
+		return err
+	}
+	if spec.multicast() {
+		for _, d := range spec.Dsts {
+			if err := check(d, "dst"); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return check(spec.Dst, "dst")
 }
 
 func (p *Platform) openUnicast(spec ConnectionSpec, prefSrcCh, prefDstCh int) (*Connection, error) {
@@ -202,6 +230,23 @@ func (p *Platform) finishUnicast(spec ConnectionSpec, fwd, rev *alloc.Unicast, p
 	}
 	p.connections[c.ID] = c
 	return c, nil
+}
+
+// RestoreUnicast wires an already-committed reservation pair into a live
+// connection: channel indices are assigned, the configuration packets are
+// built and submitted, and the connection is returned in state Opening.
+// The reservations must already be committed in p.Alloc (the admission
+// control plane adopts them from a snapshot before calling this); on
+// failure they are released. SlotsRev of the spec must carry the
+// normalized value the original admission used.
+func (p *Platform) RestoreUnicast(spec ConnectionSpec, fwd, rev *alloc.Unicast) (*Connection, error) {
+	return p.finishUnicast(spec, fwd, rev, -1, -1)
+}
+
+// RestoreMulticast wires an already-committed multicast tree into a live
+// connection; see RestoreUnicast.
+func (p *Platform) RestoreMulticast(spec ConnectionSpec, tree *alloc.Multicast) (*Connection, error) {
+	return p.finishMulticast(spec, tree, -1, nil)
 }
 
 func (p *Platform) openMulticast(spec ConnectionSpec, prefSrcCh int, prefDstChs map[topology.NodeID]int) (*Connection, error) {

@@ -372,7 +372,7 @@ func (p *Platform) allocChannelPref(n topology.NodeID, pref int) (int, error) {
 			return ch, nil
 		}
 	}
-	return 0, fmt.Errorf("core: NI %s out of channels", p.Mesh.Node(n).Name)
+	return 0, fmt.Errorf("core: NI %s %w", p.Mesh.Node(n).Name, ErrNoChannel)
 }
 
 func (p *Platform) freeChannel(n topology.NodeID, ch int) {
