@@ -189,6 +189,11 @@ type Service struct {
 	started  atomic.Bool
 	stopOnce sync.Once
 	stopErr  error
+	// submitMu makes submit's closing-check-then-send atomic against
+	// Stop: Stop sets closing under the write lock, so once it holds the
+	// lock every in-flight send has landed and every later submit is
+	// refused — the loop's final drain observes all arrivals.
+	submitMu sync.RWMutex
 
 	journal *journalWriter
 
@@ -283,9 +288,13 @@ func (s *Service) Start() {
 // result.
 func (s *Service) Stop() error {
 	s.stopOnce.Do(func() {
+		s.submitMu.Lock()
 		s.closing.Store(true)
+		s.submitMu.Unlock()
 		if !s.started.Load() {
-			// Never started: just close durable resources.
+			// Never started: answer anything queued, close durable
+			// resources.
+			s.failStragglers()
 			if s.journal != nil {
 				s.stopErr = s.journal.Close()
 			}
@@ -293,8 +302,23 @@ func (s *Service) Stop() error {
 		}
 		close(s.quit)
 		<-s.done
+		s.failStragglers()
 	})
 	return s.stopErr
+}
+
+// failStragglers answers every request still sitting in the arrival
+// queue once no loop will ever drain it (the loop has exited, or the
+// service never started) so no handler is left blocked on its reply.
+func (s *Service) failStragglers() {
+	for {
+		select {
+		case pd := <-s.arrivals:
+			s.answer(pd, reply{status: 503, body: map[string]any{"error": errShuttingDown.Error()}})
+		default:
+			return
+		}
+	}
 }
 
 // Fingerprint returns the allocator occupancy fingerprint, epoch and
@@ -347,6 +371,8 @@ var (
 // submit places a request into the arrival queue, applying backpressure.
 // On success the reply channel will receive exactly one answer.
 func (s *Service) submit(pd *pending) error {
+	s.submitMu.RLock()
+	defer s.submitMu.RUnlock()
 	if s.closing.Load() {
 		return errShuttingDown
 	}
@@ -506,11 +532,23 @@ func (s *Service) popCloses() []*pending {
 	return closes
 }
 
+// draftCost is a request's charge against the DRR deficit: the slot
+// cost for opens, a nominal 1 for read-only what-ifs.
+func draftCost(pd *pending) int {
+	if pd.op == opWhatIf {
+		return 1
+	}
+	return pd.cost
+}
+
 // draft forms this tick's open/what-if batch by deficit round-robin over
 // the tenant FIFOs: each pass refills every backlogged tenant's deficit
 // by weight x quantum, then serves requests from the FIFO head while the
-// deficit covers their slot cost. Quota violations are rejected at draft
-// time (exactly-at-quota is admissible) against committed usage plus the
+// deficit covers their slot cost. The deficit is capped at a few quanta
+// of burst — but never below the head request's cost, so any admissible
+// cost is eventually reachable and the FIFO cannot wedge behind an
+// expensive head. Quota violations are rejected at draft time
+// (exactly-at-quota is admissible) against committed usage plus the
 // tenant's earlier drafts in this same batch.
 func (s *Service) draft() (opens, whatifs []*pending) {
 	type plan struct{ slots, conns int }
@@ -528,15 +566,16 @@ func (s *Service) draft() (opens, whatifs []*pending) {
 				continue
 			}
 			t.deficit += t.weight * s.cfg.DRRQuantum
-			if cap := 4 * t.weight * s.cfg.DRRQuantum; t.deficit > cap {
-				t.deficit = cap
+			limit := 4 * t.weight * s.cfg.DRRQuantum
+			if head := draftCost(t.fifo[0]); limit < head {
+				limit = head
+			}
+			if t.deficit > limit {
+				t.deficit = limit
 			}
 			for len(t.fifo) > 0 && total < s.cfg.MaxBatch {
 				pd := t.fifo[0]
-				cost := pd.cost
-				if pd.op == opWhatIf {
-					cost = 1
-				}
+				cost := draftCost(pd)
 				if t.deficit < cost {
 					break
 				}
@@ -580,7 +619,7 @@ func (s *Service) runTick() {
 	s.ticksTotal.Inc()
 
 	closes := s.popCloses()
-	closedHandles := s.processCloses(closes)
+	closedHandles, closeReplies := s.processCloses(closes)
 
 	opens, whatifs := s.draft()
 	s.processWhatIfs(whatifs)
@@ -603,9 +642,12 @@ func (s *Service) runTick() {
 		s.snapDirty++
 	}
 
-	// Answer opens only now: their latency includes the configuration
-	// settling on the platform, and the replies carry the measured
-	// set-up span.
+	// Answer mutations only now: teardown and open latencies include the
+	// configuration settling on the platform, and the open replies carry
+	// the measured set-up span.
+	for _, rr := range closeReplies {
+		s.answer(rr.pd, rr.rep)
+	}
 	for _, rr := range openReplies {
 		if rr.lc != nil {
 			if rr.lc.conn.State == core.Opening {
@@ -629,9 +671,10 @@ func (s *Service) runTick() {
 
 // processCloses tears down valid targets and answers invalid ones
 // immediately; the successful teardowns' replies are deferred to the
-// settle point by processCloses' caller answering via closeReplies.
-func (s *Service) processCloses(closes []*pending) []uint64 {
-	var handles []uint64
+// settle point by processCloses' caller answering via closeReplies, so
+// a 200 means the teardown configuration has settled and the latency
+// accounts for it, exactly like opens.
+func (s *Service) processCloses(closes []*pending) (handles []uint64, closeReplies []openReply) {
 	for _, pd := range closes {
 		lc, ok := s.conns[pd.handle]
 		if !ok {
@@ -652,9 +695,9 @@ func (s *Service) processCloses(closes []*pending) []uint64 {
 		t.conns--
 		handles = append(handles, pd.handle)
 		pd.t.accepted.Inc()
-		s.answer(pd, reply{status: 200, body: map[string]any{"handle": pd.handle, "closed": true}})
+		closeReplies = append(closeReplies, openReply{pd: pd, rep: reply{status: 200, body: map[string]any{"handle": pd.handle, "closed": true}}})
 	}
-	return handles
+	return handles, closeReplies
 }
 
 // processWhatIfs answers read-only feasibility queries via the
@@ -685,7 +728,10 @@ func (s *Service) processWhatIfs(whatifs []*pending) {
 	}
 }
 
-// openReply pairs a drafted open with its (deferred) answer.
+// openReply pairs a request with its deferred answer, delivered by
+// runTick after the tick's configuration settles (opens carry their
+// liveConn so the settled set-up span can be attached; closes leave it
+// nil).
 type openReply struct {
 	pd  *pending
 	rep reply

@@ -533,3 +533,91 @@ func TestJournalTornTailIgnored(t *testing.T) {
 		t.Fatalf("torn tail: %+v", recs)
 	}
 }
+
+// TestExpensiveOpenEventuallyDrafted guards against head-of-line wedge:
+// an open whose slot cost exceeds the nominal DRR burst cap
+// (4 x weight x quantum) must still accumulate deficit up to its cost
+// and be drafted, not block its tenant's FIFO forever.
+func TestExpensiveOpenEventuallyDrafted(t *testing.T) {
+	p := testPlatform(t, 4, 4)
+	s, err := NewService(p, nil, Config{
+		Tenants:    []TenantConfig{{Name: "b", Class: Bronze}},
+		DRRQuantum: 1, // nominal cap 4*1*1 = 4
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, _, err := core.AllocItem(core.ConnectionSpec{
+		Src: p.Mesh.NI(0, 1, 0), Dst: p.Mesh.NI(3, 2, 0), SlotsFwd: 3, SlotsRev: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd := &pending{op: opOpen, t: s.tenants["b"], spec: spec, cost: SlotCost(spec), reply: make(chan reply, 1)}
+	if pd.cost <= 4 {
+		t.Fatalf("test needs a cost above the nominal cap, got %d", pd.cost)
+	}
+	s.enqueue(pd)
+	drafted := false
+	for i := 0; i < 4*pd.cost && !drafted; i++ {
+		opens, _ := s.draft()
+		for _, got := range opens {
+			if got == pd {
+				drafted = true
+			}
+		}
+	}
+	if !drafted {
+		t.Fatalf("cost-%d open never drafted: deficit cap wedges the tenant FIFO", pd.cost)
+	}
+}
+
+// TestOverWheelOpenRejected: an open demanding more slots than the TDM
+// wheel can never fit and must be refused at the wire (bounding queued
+// costs), while the same demand as a what-if stays a read-only probe.
+func TestOverWheelOpenRejected(t *testing.T) {
+	s, srv := testService(t, 4, 4, Config{})
+	wheel := s.Platform().Params.Wheel
+
+	if status, _ := post(t, srv.URL, "/v1/connections", openReq("alpha", 0, 5, wheel+1)); status != http.StatusBadRequest {
+		t.Fatalf("over-wheel forward demand: status %d", status)
+	}
+	rev := openReq("alpha", 0, 5, 1)
+	rev["slots_rev"] = wheel + 1
+	if status, _ := post(t, srv.URL, "/v1/connections", rev); status != http.StatusBadRequest {
+		t.Fatalf("over-wheel reverse demand: status %d", status)
+	}
+	status, body := post(t, srv.URL, "/v1/whatif", openReq("alpha", 0, 5, wheel+1))
+	if status != http.StatusOK || body["fits"] != false {
+		t.Fatalf("over-wheel whatif: status %d body %v", status, body)
+	}
+}
+
+// TestStopAnswersQueuedStragglers: a request accepted into the arrival
+// queue that no loop will ever drain (service never started) must be
+// answered 503 by Stop, not leak its blocked handler.
+func TestStopAnswersQueuedStragglers(t *testing.T) {
+	p := testPlatform(t, 4, 4)
+	s, err := NewService(p, nil, Config{Tenants: []TenantConfig{{Name: "q"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd := &pending{op: opOpen, t: s.tenants["q"], reply: make(chan reply, 1)}
+	if err := s.submit(pd); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case rep := <-pd.reply:
+		if rep.status != 503 {
+			t.Fatalf("straggler status: %d", rep.status)
+		}
+	default:
+		t.Fatal("queued request left unanswered at Stop")
+	}
+	if got := s.tenants["q"].pending.Load(); got != 0 {
+		t.Fatalf("pending counter after Stop: %d", got)
+	}
+}

@@ -110,6 +110,17 @@ func (s *Service) handleOpen(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	// An open demanding more than the wheel can never fit (a link only
+	// has Wheel TDM slots); reject it at the wire so queued opens' slot
+	// costs are bounded and the drafting deficit is guaranteed to reach
+	// them. What-ifs skip this — they are charged a draft cost of 1 and
+	// answer such probes read-only with fits=false.
+	if wheel := s.p.Params.Wheel; spec.SlotsFwd > wheel || spec.SlotsRev > wheel {
+		writeJSON(w, http.StatusBadRequest, map[string]any{
+			"error": fmt.Sprintf("slot demand exceeds the wheel: slots_fwd=%d slots_rev=%d, wheel=%d", spec.SlotsFwd, spec.SlotsRev, wheel),
+		})
+		return
+	}
 	pd := &pending{op: opOpen, t: t, spec: spec, cost: cost, enq: time.Now(), reply: make(chan reply, 1)}
 	s.await(w, pd)
 }

@@ -219,16 +219,22 @@ func (s *Service) replayRecord(rec journalRecord) (opens, closes int, err error)
 				}
 			case outcomeAborted:
 				// The original attempt committed its reservation inside the
-				// batch (influencing later items), then failed downstream
-				// and was rolled back. If the downstream failure reproduces
-				// the rollback already happened; if it does not, close the
-				// connection to reach the same post-batch occupancy.
+				// batch (influencing later items), then hit channel
+				// exhaustion downstream and was rolled back. If the
+				// exhaustion reproduces the rollback already happened; if
+				// the open now succeeds, close the connection to reach the
+				// same post-batch occupancy. Any other failure — no fit
+				// inside the allocator, or a downstream error that is not
+				// channel exhaustion — means the replayed platform is not
+				// in the recorded state.
 				if errs[i] == nil {
 					if err := s.p.Close(conns[i]); err != nil {
 						return opens, closes, fmt.Errorf("admission: journal seq %d roll back aborted open %s: %w", rec.Seq, jo.Spec, err)
 					}
 				} else if errors.Is(errs[i], core.ErrBatchAlloc) {
 					return opens, closes, fmt.Errorf("admission: journal seq %d open %s recorded aborted but replay found no fit — state diverged", rec.Seq, jo.Spec)
+				} else if !errors.Is(errs[i], core.ErrNoChannel) {
+					return opens, closes, fmt.Errorf("admission: journal seq %d open %s recorded aborted (channel exhaustion) but replay failed differently — state diverged: %w", rec.Seq, jo.Spec, errs[i])
 				}
 			default:
 				return opens, closes, fmt.Errorf("admission: journal seq %d has unknown outcome %q", rec.Seq, jo.Outcome)
