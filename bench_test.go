@@ -192,9 +192,10 @@ func BenchmarkPlatformCycle(b *testing.B) { benchPlatformCycle(b, false) }
 func BenchmarkPlatformCycleTelemetry(b *testing.B) { benchPlatformCycle(b, true) }
 
 // benchBigMesh measures raw kernel throughput (one simulated cycle per
-// op) on the 16x16 datapath-only torus — 256 routers plus row taps, the
-// size the parallel kernel targets (a full configured platform is capped
-// at 127 elements by the 7-bit config ID space).
+// op) on the full 16x16 torus platform — 512 elements set up through six
+// hierarchical config regions, the size the parallel kernel targets. The
+// 7-bit config ID space caps a single region at 127 elements; the
+// region partition is what lets this platform configure at all.
 func benchBigMesh(b *testing.B, workers int) {
 	bm, err := experiments.BuildBigMesh(16, 16, 8, workers)
 	if err != nil {

@@ -36,7 +36,7 @@ func main() {
 	var which, outPath, cpuProfile, memProfile string
 	var listOnly, jsonOut bool
 	var workers int
-	flag.StringVar(&which, "experiment", "", "run only the experiment with this ID (E1..E19, A1..A9) or artifact substring")
+	flag.StringVar(&which, "experiment", "", "run only the experiment with this ID (E1..E20, A1..A9) or artifact substring")
 	flag.BoolVar(&listOnly, "list", false, "list experiments without running them")
 	flag.StringVar(&outPath, "o", "", "also write the output to this file (with -json: the snapshot path)")
 	flag.BoolVar(&jsonOut, "json", false, "emit a BENCH_<rev>.json machine-readable snapshot instead of tables")
@@ -192,6 +192,7 @@ func list() {
 	fmt.Println("E17  batch admission throughput (set-ups/sec vs mesh size vs workers; not in golden output)")
 	fmt.Println("E18  conformance: sim-vs-model differential sweep + mutation smoke")
 	fmt.Println("E19  control-plane admission service under multi-tenant load (req/s, fairness, restart replay; not in golden output)")
+	fmt.Println("E20  regioned vs single-tree set-up latency and wire cost")
 	fmt.Println("A1   ablation: TDM wheel size")
 	fmt.Println("A2   ablation: configuration cool-down")
 	fmt.Println("A3   ablation: host placement / tree depth")

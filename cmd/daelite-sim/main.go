@@ -15,6 +15,11 @@
 // into the run; a health monitor detects the stalled connections and the
 // platform repairs them around the dead link, and the report gains fault
 // and repair counters.
+//
+// With -conformance the online invariant checkers ride along for the
+// whole run — set-up, traffic, fault, repair and all — and any recorded
+// violation makes the command exit non-zero, which is how the CI scale
+// job gates real 16x16 set-up through the hierarchical config regions.
 package main
 
 import (
@@ -23,11 +28,13 @@ import (
 	"os"
 
 	"daelite/internal/cli"
+	"daelite/internal/conformance"
 	"daelite/internal/core"
 	"daelite/internal/fault"
 	"daelite/internal/report"
 	"daelite/internal/spec"
 	"daelite/internal/stats"
+	"daelite/internal/telemetry"
 	"daelite/internal/topology"
 	"daelite/internal/trace"
 	"daelite/internal/traffic"
@@ -37,7 +44,9 @@ func main() {
 	var vcdPath, specPath, failLink, expectFP string
 	var cycles int
 	var failAt, faultSeed, stallTimeout uint64
+	var conform bool
 	pf := cli.RegisterPlatformFlags(flag.CommandLine)
+	flag.BoolVar(&conform, "conformance", false, "attach the online conformance checkers for the whole run and exit non-zero on any violation")
 	flag.IntVar(&cycles, "cycles", 50000, "cycles to simulate after set-up")
 	flag.StringVar(&expectFP, "expect-fingerprint", "", "fail (exit non-zero) unless the run's determinism fingerprint equals this hex value")
 	flag.StringVar(&vcdPath, "vcd", "", "write a VCD waveform of every NI link to this file")
@@ -101,6 +110,14 @@ func main() {
 		fmt.Printf("metrics: %s\n", url)
 	}
 	fingerprint := cli.AttachFingerprint(p)
+	var ck *conformance.Checker
+	if conform {
+		reg := telemetry.NewRegistry()
+		if exp != nil {
+			reg = exp.Registry
+		}
+		ck = conformance.Attach(p, reg, conformance.Options{})
+	}
 	mon := stats.NewMonitor(p)
 	var rec *trace.Recorder
 	if vcdPath != "" {
@@ -240,6 +257,19 @@ func main() {
 	fmt.Println(mon.Report("Link utilization"))
 	if err := exp.Close(); err != nil {
 		fatal("%v", err)
+	}
+	if ck != nil {
+		ck.CheckNow()
+		if v := ck.Violations(); v > 0 {
+			for i, viol := range ck.Recorded() {
+				if i >= 5 {
+					break
+				}
+				fmt.Fprintf(os.Stderr, "daelite-sim: violation %+v\n", viol)
+			}
+			fatal("conformance: %d violations", v)
+		}
+		fmt.Println("conformance: no violations")
 	}
 	fp := fingerprint()
 	fmt.Printf("fingerprint: %016x\n", fp)

@@ -12,8 +12,8 @@
 //	internal/core       platform assembly and the connection API
 //	internal/router     the daelite router (blind TDM switching, 2-cycle hops)
 //	internal/ni         the network interface (queues, credits, slot tables)
-//	internal/configtree the host configuration module and broadcast tree
-//	internal/cfgproto   the 7-bit configuration wire format
+//	internal/configtree the host configuration modules and per-region broadcast trees
+//	internal/cfgproto   the 7-bit configuration wire format and region-select envelopes
 //	internal/alloc      contention-free slot allocation (single/multi-path, multicast)
 //	internal/aelite     the aelite baseline (source routing, headers, 3-cycle hops)
 //	internal/area       the Table II gate-equivalent area model

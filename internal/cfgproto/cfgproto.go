@@ -46,6 +46,13 @@ const (
 	// OpReadReg reads one element register; the element answers on the
 	// reverse (converging) path. At most one read is outstanding.
 	OpReadReg
+	// OpRegion is the region-select envelope header: its count field
+	// gives the number of following region-ID words (base-128,
+	// most-significant first). A region select prefixes a packet bound
+	// for one configuration region of a partitioned platform; elements
+	// skip it (their IDs are region-local), and the host-side region
+	// router uses it to steer the packet onto the right tree.
+	OpRegion
 	numOps
 )
 
@@ -60,6 +67,8 @@ func (o Op) String() string {
 		return "write-reg"
 	case OpReadReg:
 		return "read-reg"
+	case OpRegion:
+		return "region-select"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(o))
 	}

@@ -52,6 +52,7 @@ const (
 	stTripleVal
 	stReadID
 	stReadReg
+	stSkip
 )
 
 // NewDecoder returns a decoder for the element with the given ID on a wheel
@@ -88,6 +89,13 @@ func (d *Decoder) Feed(w phit.ConfigWord) phit.Response {
 		case OpReadReg:
 			if count > 0 {
 				d.state = stReadID
+			}
+		case OpRegion:
+			// Region-select envelope: element IDs are region-local, so
+			// the region-ID words carry no information for an element —
+			// consume them and resume at the enveloped packet's header.
+			if count > 0 {
+				d.state = stSkip
 			}
 		default: // OpNop and unknown opcodes are skipped
 		}
@@ -152,6 +160,11 @@ func (d *Decoder) Feed(w phit.ConfigWord) phit.Response {
 			if v, ok := d.sink.ReadReg(w.Bits); ok {
 				return phit.Response{Valid: true, Bits: v & 0x7F}
 			}
+		}
+	case stSkip:
+		d.remaining--
+		if d.remaining <= 0 {
+			d.state = stIdle
 		}
 	}
 	return phit.Response{}

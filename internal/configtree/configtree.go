@@ -144,7 +144,10 @@ func (m *Module) SubmitPacket(words []phit.ConfigWord) error {
 	if staged+len(words) > m.params.QueueDepth {
 		return fmt.Errorf("configtree: staging queue full (%d+%d > %d)", staged, len(words), m.params.QueueDepth)
 	}
-	op, _ := cfgproto.ParseHeader(words[0])
+	op, err := cfgproto.PacketOp(words)
+	if err != nil {
+		return err
+	}
 	isRead := op == cfgproto.OpReadReg
 	if isRead && readStaged {
 		return fmt.Errorf("configtree: a read is already outstanding")

@@ -30,6 +30,7 @@ package conformance
 import (
 	"fmt"
 
+	"daelite/internal/configtree"
 	"daelite/internal/core"
 	"daelite/internal/phit"
 	"daelite/internal/sim"
@@ -82,6 +83,7 @@ type Checker struct {
 	// masks for the per-cycle wire check.
 	wires      []checkWire
 	graceUntil uint64
+	drain      uint64
 
 	// Credit baselines, captured at Resync: lifetime counters may span
 	// closed connections that reused the channel.
@@ -95,11 +97,21 @@ type Checker struct {
 	// expectation must be rebuilt before the per-cycle checks resume.
 	lastEpoch uint64
 
-	resp            *sim.Reg[phit.Response]
-	prevOutstanding bool
+	// resps watches each configuration region's reverse path: the
+	// single-outstanding-read invariant holds per region (each tree has
+	// its own unarbitrated response path and host module).
+	resps []respWatch
 
 	violations []Violation
 	total      uint64
+}
+
+// respWatch pairs one region's configuration module with its root
+// response wire for the per-cycle config-tree check.
+type respWatch struct {
+	mod             *configtree.Module
+	resp            *sim.Reg[phit.Response]
+	prevOutstanding bool
 }
 
 type checkWire struct {
@@ -147,10 +159,16 @@ func Attach(p *core.Platform, reg *telemetry.Registry, opt Options) *Checker {
 		}
 		ck.wires = append(ck.wires, checkWire{link: l, wire: w})
 	}
-	if n, ok := p.NIs[p.Tree.Root]; ok {
-		ck.resp = n.ResponseWire()
-	} else if r, ok := p.Routers[p.Tree.Root]; ok {
-		ck.resp = r.ResponseWire()
+	for reg, tree := range p.Trees {
+		var resp *sim.Reg[phit.Response]
+		if n, ok := p.NIs[tree.Root]; ok {
+			resp = n.ResponseWire()
+		} else if r, ok := p.Routers[tree.Root]; ok {
+			resp = r.ResponseWire()
+		}
+		if resp != nil {
+			ck.resps = append(ck.resps, respWatch{mod: p.Config.Region(reg), resp: resp})
+		}
 	}
 	ck.Resync()
 	every := uint64(opt.SampleEvery)
@@ -179,8 +197,8 @@ func (ck *Checker) Resync() {
 		}
 		ck.wires[i].occ = mask
 	}
-	drain := uint64((ck.m.wheel + 8) * ck.m.slotWords)
-	ck.graceUntil = ck.p.Cycle() + ck.p.ConfigSettleCycles() + drain
+	ck.drain = uint64((ck.m.wheel + 8) * ck.m.slotWords)
+	ck.graceUntil = ck.p.Cycle() + ck.p.ConfigSettleCycles() + ck.drain
 	ck.lastEpoch = ck.p.Alloc.Epoch()
 	ck.bases = make(map[int]*creditBase)
 	for _, c := range conns {
@@ -264,6 +282,14 @@ func (ck *Checker) perCycle(cycle uint64) {
 		// expectation and let the grace window cover the transition.
 		ck.Resync()
 	}
+	if ck.p.Config.Busy() {
+		// Configuration words are still in flight — e.g. a multi-packet
+		// tear-down draining through the region modules — so the
+		// hardware legitimately lags the model. Keep the grace window
+		// open until the last packet has settled and stale payload has
+		// drained.
+		ck.graceUntil = cycle + ck.p.ConfigSettleCycles() + ck.drain
+	}
 	slot := slots.SlotOfCycle(cycle, ck.m.slotWords, ck.m.wheel)
 	if cycle >= ck.graceUntil {
 		for i := range ck.wires {
@@ -276,13 +302,14 @@ func (ck *Checker) perCycle(cycle uint64) {
 			}
 		}
 	}
-	if ck.resp != nil {
-		out := ck.p.Host.ReadOutstanding()
-		if r := ck.resp.Get(); r.Valid && !out && !ck.prevOutstanding {
+	for i := range ck.resps {
+		w := &ck.resps[i]
+		out := w.mod.ReadOutstanding()
+		if r := w.resp.Get(); r.Valid && !out && !w.prevOutstanding {
 			ck.violate(cycle, CheckConfigTree,
-				"response word %#02x with no read outstanding", r.Bits)
+				"region %d: response word %#02x with no read outstanding", i, r.Bits)
 		}
-		ck.prevOutstanding = out
+		w.prevOutstanding = out
 	}
 }
 
@@ -292,7 +319,7 @@ func (ck *Checker) perCycle(cycle uint64) {
 // allocator, so the pass waits for the next sample.
 func (ck *Checker) structural(cycle uint64) {
 	conns := ck.liveConns()
-	if ck.p.Host.Busy() {
+	if ck.p.Config.Busy() {
 		return
 	}
 	for _, c := range conns {

@@ -196,7 +196,7 @@ func (p *Platform) finishUnicast(spec ConnectionSpec, fwd, rev *alloc.Unicast, p
 	// and destination's RX table under (srcCh, dstCh); the reverse
 	// direction swaps the roles and uses the same channel indices at
 	// each side, which is what pairs the credit wires.
-	var packets [][]phit.ConfigWord
+	var packets []cfgPacket
 	fp, err := p.unicastPackets(fwd, srcCh, dstCh, true)
 	if err != nil {
 		return nil, err
@@ -214,7 +214,7 @@ func (p *Platform) finishUnicast(spec ConnectionSpec, fwd, rev *alloc.Unicast, p
 	if credit > phit.MaxCreditValue {
 		credit = phit.MaxCreditValue
 	}
-	wr, err := regPackets([]cfgproto.RegWrite{
+	wr, err := p.regPackets([]cfgproto.RegWrite{
 		{Element: int(spec.Src), Reg: cfgproto.RegSelect(cfgproto.RegCredit, srcCh), Value: uint8(credit)},
 		{Element: int(spec.Dst), Reg: cfgproto.RegSelect(cfgproto.RegCredit, dstCh), Value: uint8(credit)},
 		{Element: int(spec.Src), Reg: cfgproto.RegSelect(cfgproto.RegFlags, srcCh), Value: cfgproto.FlagOpen},
@@ -314,7 +314,7 @@ func (p *Platform) finishMulticast(spec ConnectionSpec, tree *alloc.Multicast, p
 			Value:   cfgproto.FlagOpen,
 		})
 	}
-	wr, err := regPackets(writes)
+	wr, err := p.regPackets(writes)
 	if err != nil {
 		return nil, err
 	}
@@ -341,21 +341,33 @@ func (p *Platform) connDetail(spec ConnectionSpec) string {
 	return src + ">{" + strings.Join(ds, ",") + "}"
 }
 
-func (p *Platform) submitAll(c *Connection, packets [][]phit.ConfigWord) error {
+func (p *Platform) submitAll(c *Connection, packets []cfgPacket) error {
 	c.Setup = telemetry.Span{
 		Op:          "setup",
 		ID:          c.ID,
 		SubmitCycle: p.Sim.Cycle(),
 		Detail:      p.connDetail(c.Spec),
 	}
+	c.Setup.Regions = countRegions(packets)
 	for _, pkt := range packets {
-		c.Setup.Words += len(pkt)
-		if err := p.Host.SubmitPacket(pkt); err != nil {
+		n, err := p.Config.Submit(pkt.region, pkt.words)
+		if err != nil {
 			return err
 		}
+		c.Setup.Words += n // wire words, envelope included
 	}
 	p.pendingSpans = append(p.pendingSpans, &c.Setup)
 	return nil
+}
+
+// countRegions counts the distinct configuration regions a packet batch
+// touches.
+func countRegions(packets []cfgPacket) int {
+	seen := make(map[int]bool)
+	for _, pkt := range packets {
+		seen[pkt.region] = true
+	}
+	return len(seen)
 }
 
 // AwaitOpen runs the platform until the connection's configuration has
@@ -383,7 +395,7 @@ func (p *Platform) Close(c *Connection) error {
 	if c.State == Closed {
 		return fmt.Errorf("core: connection %d already closed", c.ID)
 	}
-	var packets [][]phit.ConfigWord
+	var packets []cfgPacket
 	var err error
 	var flagClears []cfgproto.RegWrite
 	if c.Tree != nil {
@@ -417,7 +429,7 @@ func (p *Platform) Close(c *Connection) error {
 			{Element: int(c.Spec.Dst), Reg: cfgproto.RegSelect(cfgproto.RegCredit, c.DstChannel)},
 		}
 	}
-	wr, err := regPackets(flagClears)
+	wr, err := p.regPackets(flagClears)
 	if err != nil {
 		return err
 	}
@@ -427,12 +439,14 @@ func (p *Platform) Close(c *Connection) error {
 		ID:          c.ID,
 		SubmitCycle: p.Sim.Cycle(),
 		Detail:      p.connDetail(c.Spec),
+		Regions:     countRegions(packets),
 	}
 	for _, pkt := range packets {
-		td.Words += len(pkt)
-		if err := p.Host.SubmitPacket(pkt); err != nil {
+		n, err := p.Config.Submit(pkt.region, pkt.words)
+		if err != nil {
 			return err
 		}
+		td.Words += n
 	}
 	p.pendingSpans = append(p.pendingSpans, td)
 

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"daelite/internal/alloc"
+	"daelite/internal/cfgproto"
 	"daelite/internal/configtree"
 	"daelite/internal/ni"
 	"daelite/internal/phit"
@@ -62,6 +63,16 @@ type Params struct {
 	// back to the sequential path automatically, and the simulated
 	// behaviour is bit-identical for every value.
 	Workers int
+	// MaxRegionElements caps the elements per configuration region; 0
+	// selects 127, the full 7-bit element-ID space (ID 127 is the
+	// reserved padding element). Platforms that fit one region keep the
+	// single-tree architecture bit for bit; larger platforms are
+	// partitioned into column bands, each with its own config tree,
+	// host port and region-local ID space (see topology.Regions).
+	// Lower values force regioning on small platforms — used by tests
+	// and the E20 experiment to compare single-tree against regioned
+	// set-up at equal size.
+	MaxRegionElements int
 }
 
 // DefaultParams mirror the paper's running example: 8 slots of 2 words,
@@ -82,6 +93,9 @@ func (p Params) Validate() error {
 	if p.Workers < 0 {
 		return fmt.Errorf("core: workers %d out of range (0 = auto)", p.Workers)
 	}
+	if p.MaxRegionElements != 0 && (p.MaxRegionElements < 2 || p.MaxRegionElements > 127) {
+		return fmt.Errorf("core: MaxRegionElements %d out of range 2..127 (0 = default 127)", p.MaxRegionElements)
+	}
 	rp := router.Params{Wheel: p.Wheel, SlotWords: p.SlotWords}
 	if err := rp.Validate(); err != nil {
 		return err
@@ -101,8 +115,16 @@ type Platform struct {
 
 	Routers map[topology.NodeID]*router.Router
 	NIs     map[topology.NodeID]*ni.NI
+	// Host is region 0's configuration module and Tree its spanning
+	// tree — on a single-region platform (the common case) they are the
+	// whole configuration infrastructure, exactly as before regions
+	// existed. Config, Trees and Regions are the region-aware view:
+	// one module and one tree per region, plus the element partition.
 	Host    *configtree.Module
 	Tree    *topology.SpanningTree
+	Config  *configtree.Forest
+	Trees   []*topology.SpanningTree
+	Regions *topology.Regions
 	HostNI  topology.NodeID
 	Alloc   *alloc.Allocator
 
@@ -140,10 +162,17 @@ func NewPlatform(m *topology.Mesh, params Params, hostNI topology.NodeID) (*Plat
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
-	// Element IDs are the node IDs; ID 127 is reserved as the padding
-	// element of the configuration protocol.
-	if m.NumNodes() > 127 {
-		return nil, fmt.Errorf("core: %d network elements exceed the 7-bit configuration ID space (127 usable)", m.NumNodes())
+	// Partition the elements into configuration regions. A platform of
+	// up to 127 elements (the 7-bit ID space, with 127 the padding
+	// element) is one region with identity local IDs — bit-identical to
+	// the pre-region architecture. Larger platforms get one config tree
+	// per region and region-local 7-bit IDs.
+	regions, err := m.PartitionRegions(hostNI, params.MaxRegionElements)
+	if err != nil {
+		return nil, err
+	}
+	if regions.Num() > cfgproto.MaxRegions {
+		return nil, fmt.Errorf("core: %d configuration regions exceed the region-ID space (%d)", regions.Num(), cfgproto.MaxRegions)
 	}
 	s := sim.NewWithOptions(sim.Options{Workers: params.Workers})
 	p := &Platform{
@@ -156,21 +185,22 @@ func NewPlatform(m *topology.Mesh, params Params, hostNI topology.NodeID) (*Plat
 		Alloc:        alloc.New(m.Graph, params.Wheel),
 		channelsUsed: make(map[topology.NodeID]map[int]bool),
 		connections:  make(map[int]*Connection),
+		Regions:      regions,
 	}
 
-	// Instantiate elements. Configuration element IDs are the topology
-	// node IDs.
+	// Instantiate elements. Configuration element IDs are region-local:
+	// on a single-region platform they equal the topology node IDs.
 	for _, n := range m.Nodes() {
 		switch n.Kind {
 		case topology.Router:
-			r, err := router.New(s, n.Name, int(n.ID), m.InDegree(n.ID), m.OutDegree(n.ID),
+			r, err := router.New(s, n.Name, regions.LocalID(n.ID), m.InDegree(n.ID), m.OutDegree(n.ID),
 				router.Params{Wheel: params.Wheel, SlotWords: params.SlotWords})
 			if err != nil {
 				return nil, err
 			}
 			p.Routers[n.ID] = r
 		case topology.NI:
-			nif, err := ni.New(s, n.Name, int(n.ID), ni.Params{
+			nif, err := ni.New(s, n.Name, regions.LocalID(n.ID), ni.Params{
 				Wheel: params.Wheel, SlotWords: params.SlotWords,
 				NumChannels:    params.NumChannels,
 				SendQueueDepth: params.SendQueueDepth,
@@ -197,23 +227,40 @@ func NewPlatform(m *topology.Mesh, params Params, hostNI topology.NodeID) (*Plat
 		p.connectInput(l, wire)
 	}
 
-	// Configuration tree rooted at the router next to the host NI.
-	root, err := m.ConfigRoot(hostNI)
-	if err != nil {
-		return nil, err
-	}
-	p.Tree = m.BFSTree(root)
-	p.Host = configtree.New(s, "cfg-module", configtree.Params{
+	// One configuration tree per region, each a minimal-depth spanning
+	// tree confined to the region's members. Region 0 holds the host NI
+	// and keeps the ConfigRoot(hostNI) root and the "cfg-module" name,
+	// so single-region platforms are wired exactly as before.
+	cfgParams := configtree.Params{
 		Cooldown:    params.Cooldown,
 		QueueDepth:  4096,
 		ReadTimeout: params.ReadTimeout,
 		ReadRetries: params.ReadRetries,
 		ReadBackoff: params.ReadBackoff,
-	})
-	rootRouter := p.Routers[root]
-	rootRouter.ConnectConfigIn(p.Host.ForwardWire())
-	p.Host.ConnectResponse(rootRouter.ResponseWire())
-	p.wireTree(root)
+	}
+	mods := make([]*configtree.Module, regions.Num())
+	p.Trees = make([]*topology.SpanningTree, regions.Num())
+	for reg := 0; reg < regions.Num(); reg++ {
+		root := regions.Roots[reg]
+		tree := m.BFSTreeWithin(root, func(n topology.NodeID) bool { return regions.Of(n) == reg })
+		if tree.Size() != len(regions.Members[reg]) {
+			return nil, fmt.Errorf("core: region %d is not connected: its config tree reaches %d of %d members", reg, tree.Size(), len(regions.Members[reg]))
+		}
+		name := "cfg-module"
+		if reg > 0 {
+			name = fmt.Sprintf("cfg-module-r%d", reg)
+		}
+		mod := configtree.New(s, name, cfgParams)
+		rootRouter := p.Routers[root]
+		rootRouter.ConnectConfigIn(mod.ForwardWire())
+		mod.ConnectResponse(rootRouter.ResponseWire())
+		p.Trees[reg] = tree
+		mods[reg] = mod
+		p.wireTree(tree, root)
+	}
+	p.Config = configtree.NewForest(mods...)
+	p.Host = mods[0]
+	p.Tree = p.Trees[0]
 
 	return p, nil
 }
@@ -235,12 +282,12 @@ func (p *Platform) connectInput(l topology.Link, w *flitWire) {
 
 // wireTree attaches forward/reverse configuration wires along the spanning
 // tree below node n.
-func (p *Platform) wireTree(n topology.NodeID) {
-	for _, child := range p.Tree.Children[n] {
+func (p *Platform) wireTree(tree *topology.SpanningTree, n topology.NodeID) {
+	for _, child := range tree.Children[n] {
 		fwd := p.addConfigChild(n)
 		p.connectConfigIn(child, fwd)
 		p.addResponseChild(n, p.responseWire(child))
-		p.wireTree(child)
+		p.wireTree(tree, child)
 	}
 }
 
@@ -318,18 +365,26 @@ func (p *Platform) Run(n uint64) { p.Sim.Run(n) }
 func (p *Platform) Cycle() uint64 { return p.Sim.Cycle() }
 
 // ConfigSettleCycles is the number of cycles after the configuration
-// module goes idle within which every in-flight word has traversed the
+// modules go idle within which every in-flight word has traversed its
 // tree (two cycles per tree hop, plus the module's own output stage).
+// With several regions the deepest tree bounds the settle time.
 func (p *Platform) ConfigSettleCycles() uint64 {
-	return uint64(2*(p.Tree.MaxDepth()+1) + 2)
+	depth := 0
+	for _, t := range p.Trees {
+		if d := t.MaxDepth(); d > depth {
+			depth = d
+		}
+	}
+	return uint64(2*(depth+1) + 2)
 }
 
-// CompleteConfig runs the simulation until the configuration module is
-// idle and all in-flight configuration words have settled. It returns the
-// cycle at which configuration completed, or an error on budget
-// exhaustion.
+// CompleteConfig runs the simulation until every region's configuration
+// module is idle and all in-flight configuration words have settled — a
+// transaction spanning several regions completes only when all involved
+// trees have drained. It returns the cycle at which configuration
+// completed, or an error on budget exhaustion.
 func (p *Platform) CompleteConfig(budget uint64) (uint64, error) {
-	_, ok := p.Sim.RunUntil(func() bool { return !p.Host.Busy() }, budget)
+	_, ok := p.Sim.RunUntil(func() bool { return !p.Config.Busy() }, budget)
 	if !ok {
 		return p.Sim.Cycle(), fmt.Errorf("core: configuration did not drain within %d cycles", budget)
 	}

@@ -40,11 +40,11 @@ func (p *Platform) AddMulticastDestination(c *Connection, dst topology.NodeID) e
 	if err != nil {
 		return err
 	}
-	packets, err := segmentsToPackets(c.Tree.InjectSlots, [][]pairAt{seg})
+	packets, err := p.segmentsToPackets(c.Tree.InjectSlots, [][]pairAt{seg})
 	if err != nil {
 		return err
 	}
-	wr, err := regPackets([]cfgproto.RegWrite{{
+	wr, err := p.regPackets([]cfgproto.RegWrite{{
 		Element: int(dst),
 		Reg:     cfgproto.RegSelect(cfgproto.RegFlags, ch),
 		Value:   cfgproto.FlagOpen,
@@ -54,7 +54,7 @@ func (p *Platform) AddMulticastDestination(c *Connection, dst topology.NodeID) e
 	}
 	packets = append(packets, wr...)
 	for _, pkt := range packets {
-		if err := p.Host.SubmitPacket(pkt); err != nil {
+		if _, err := p.Config.Submit(pkt.region, pkt.words); err != nil {
 			return err
 		}
 	}
@@ -85,11 +85,11 @@ func (p *Platform) RemoveMulticastDestination(c *Connection, dst topology.NodeID
 	if err != nil {
 		return err
 	}
-	packets, err := segmentsToPackets(c.Tree.InjectSlots, [][]pairAt{seg})
+	packets, err := p.segmentsToPackets(c.Tree.InjectSlots, [][]pairAt{seg})
 	if err != nil {
 		return err
 	}
-	wr, err := regPackets([]cfgproto.RegWrite{{
+	wr, err := p.regPackets([]cfgproto.RegWrite{{
 		Element: int(dst),
 		Reg:     cfgproto.RegSelect(cfgproto.RegFlags, ch),
 	}})
@@ -98,7 +98,7 @@ func (p *Platform) RemoveMulticastDestination(c *Connection, dst topology.NodeID
 	}
 	packets = append(packets, wr...)
 	for _, pkt := range packets {
-		if err := p.Host.SubmitPacket(pkt); err != nil {
+		if _, err := p.Config.Submit(pkt.region, pkt.words); err != nil {
 			return err
 		}
 	}

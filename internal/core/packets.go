@@ -23,33 +23,90 @@ type pairAt struct {
 	depth   int
 }
 
+// cfgPacket is a configuration packet addressed to one region's tree.
+// The words are the bare packet; the region-select envelope (if the
+// platform has more than one region) is added at submission by the
+// configtree.Forest.
+type cfgPacket struct {
+	region int
+	words  []phit.ConfigWord
+}
+
+// regionRun is a depth-contiguous slice of a path segment whose real
+// pairs all live in one configuration region, with element IDs already
+// rewritten to the region-local ID space.
+type regionRun struct {
+	region int
+	pairs  []pairAt
+}
+
+// splitRegionRuns cuts a segment wherever the path crosses into another
+// configuration region and rewrites element IDs to region-local ones.
+// Padding pairs belong to the run of the surrounding real pairs; pads
+// left dangling at a cut are dropped — the next run's packet re-bases
+// its mask to the head pair's depth, so the rotations those pads would
+// burn never happen. On a single-region platform every segment is one
+// run with identity IDs, preserving the original packets exactly.
+func (p *Platform) splitRegionRuns(seg []pairAt) []regionRun {
+	var runs []regionRun
+	cur := regionRun{region: -1}
+	flush := func() {
+		for len(cur.pairs) > 0 && cur.pairs[len(cur.pairs)-1].element == cfgproto.PadElement {
+			cur.pairs = cur.pairs[:len(cur.pairs)-1]
+		}
+		if len(cur.pairs) > 0 {
+			runs = append(runs, cur)
+		}
+		cur = regionRun{region: -1}
+	}
+	for _, pr := range seg {
+		if pr.element == cfgproto.PadElement {
+			if len(cur.pairs) > 0 {
+				cur.pairs = append(cur.pairs, pr)
+			}
+			continue
+		}
+		reg := p.Regions.Of(topology.NodeID(pr.element))
+		if cur.region >= 0 && reg != cur.region {
+			flush()
+		}
+		cur.region = reg
+		pr.element = p.Regions.LocalID(topology.NodeID(pr.element))
+		cur.pairs = append(cur.pairs, pr)
+	}
+	flush()
+	return runs
+}
+
 // segmentsToPackets chunks depth-contiguous pair runs into configuration
-// packets, obeying the MaxPairs-per-packet limit. Each packet's
-// transmitted mask is the injection mask rotated up to the first pair's
-// depth.
-func segmentsToPackets(inject slots.Mask, segments [][]pairAt) ([][]phit.ConfigWord, error) {
-	var packets [][]phit.ConfigWord
+// packets, obeying the MaxPairs-per-packet limit and splitting each
+// segment across the regions its path crosses. Each packet's transmitted
+// mask is the injection mask rotated up to its first pair's depth.
+func (p *Platform) segmentsToPackets(inject slots.Mask, segments [][]pairAt) ([]cfgPacket, error) {
+	var packets []cfgPacket
 	for _, seg := range segments {
 		for i := 1; i < len(seg); i++ {
 			if seg[i].depth != seg[i-1].depth-1 {
 				return nil, fmt.Errorf("core: segment depths not contiguous: %d after %d", seg[i].depth, seg[i-1].depth)
 			}
 		}
-		for start := 0; start < len(seg); start += cfgproto.MaxPairs {
-			end := start + cfgproto.MaxPairs
-			if end > len(seg) {
-				end = len(seg)
+		for _, run := range p.splitRegionRuns(seg) {
+			for start := 0; start < len(run.pairs); start += cfgproto.MaxPairs {
+				end := start + cfgproto.MaxPairs
+				if end > len(run.pairs) {
+					end = len(run.pairs)
+				}
+				chunk := run.pairs[start:end]
+				pkt := cfgproto.PathSetup{Mask: inject.RotateUp(chunk[0].depth)}
+				for _, pr := range chunk {
+					pkt.Pairs = append(pkt.Pairs, cfgproto.Pair{Element: pr.element, Spec: pr.spec})
+				}
+				words, err := pkt.Words()
+				if err != nil {
+					return nil, err
+				}
+				packets = append(packets, cfgPacket{region: run.region, words: words})
 			}
-			chunk := seg[start:end]
-			pkt := cfgproto.PathSetup{Mask: inject.RotateUp(chunk[0].depth)}
-			for _, pr := range chunk {
-				pkt.Pairs = append(pkt.Pairs, cfgproto.Pair{Element: pr.element, Spec: pr.spec})
-			}
-			words, err := pkt.Words()
-			if err != nil {
-				return nil, err
-			}
-			packets = append(packets, words)
 		}
 	}
 	return packets, nil
@@ -114,11 +171,11 @@ func (p *Platform) unicastPathSegment(pa alloc.PathAlloc, srcCh, dstCh int, enab
 
 // unicastPackets builds the path set-up (or tear-down) packets for all
 // paths of a unicast allocation.
-func (p *Platform) unicastPackets(u *alloc.Unicast, srcCh, dstCh int, enable bool) ([][]phit.ConfigWord, error) {
-	var packets [][]phit.ConfigWord
+func (p *Platform) unicastPackets(u *alloc.Unicast, srcCh, dstCh int, enable bool) ([]cfgPacket, error) {
+	var packets []cfgPacket
 	for _, pa := range u.Paths {
 		seg := p.unicastPathSegment(pa, srcCh, dstCh, enable)
-		pkts, err := segmentsToPackets(pa.InjectSlots, [][]pairAt{seg})
+		pkts, err := p.segmentsToPackets(pa.InjectSlots, [][]pairAt{seg})
 		if err != nil {
 			return nil, err
 		}
@@ -210,27 +267,42 @@ func (p *Platform) multicastSegments(m *alloc.Multicast, srcCh int, dstChs map[t
 
 // multicastPackets builds the path set-up (or tear-down) packets for a
 // multicast tree.
-func (p *Platform) multicastPackets(m *alloc.Multicast, srcCh int, dstChs map[topology.NodeID]int, enable bool) ([][]phit.ConfigWord, error) {
+func (p *Platform) multicastPackets(m *alloc.Multicast, srcCh int, dstChs map[topology.NodeID]int, enable bool) ([]cfgPacket, error) {
 	segments, err := p.multicastSegments(m, srcCh, dstChs, enable)
 	if err != nil {
 		return nil, err
 	}
-	return segmentsToPackets(m.InjectSlots, segments)
+	return p.segmentsToPackets(m.InjectSlots, segments)
 }
 
-// regPackets builds register write packets in MaxPairs-sized chunks.
-func regPackets(writes []cfgproto.RegWrite) ([][]phit.ConfigWord, error) {
-	var packets [][]phit.ConfigWord
-	for start := 0; start < len(writes); start += cfgproto.MaxPairs {
-		end := start + cfgproto.MaxPairs
-		if end > len(writes) {
-			end = len(writes)
+// regPackets builds register write packets in MaxPairs-sized chunks,
+// grouped by the target elements' configuration regions (in first-seen
+// order) with element IDs rewritten to the region-local space.
+func (p *Platform) regPackets(writes []cfgproto.RegWrite) ([]cfgPacket, error) {
+	var order []int
+	grouped := make(map[int][]cfgproto.RegWrite)
+	for _, w := range writes {
+		reg := p.Regions.Of(topology.NodeID(w.Element))
+		if _, seen := grouped[reg]; !seen {
+			order = append(order, reg)
 		}
-		words, err := cfgproto.WriteRegPacket(writes[start:end])
-		if err != nil {
-			return nil, err
+		w.Element = p.Regions.LocalID(topology.NodeID(w.Element))
+		grouped[reg] = append(grouped[reg], w)
+	}
+	var packets []cfgPacket
+	for _, reg := range order {
+		ws := grouped[reg]
+		for start := 0; start < len(ws); start += cfgproto.MaxPairs {
+			end := start + cfgproto.MaxPairs
+			if end > len(ws) {
+				end = len(ws)
+			}
+			words, err := cfgproto.WriteRegPacket(ws[start:end])
+			if err != nil {
+				return nil, err
+			}
+			packets = append(packets, cfgPacket{region: reg, words: words})
 		}
-		packets = append(packets, words)
 	}
 	return packets, nil
 }

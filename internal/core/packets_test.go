@@ -26,7 +26,10 @@ func TestPacketStreamGolden(t *testing.T) {
 	}
 	var sb strings.Builder
 	for _, pkt := range fwd {
-		for _, w := range pkt {
+		if pkt.region != 0 {
+			t.Fatalf("single-region platform produced a packet for region %d", pkt.region)
+		}
+		for _, w := range pkt.words {
 			fmt.Fprintf(&sb, "%02x ", w.Bits)
 		}
 		sb.WriteString("| ")
@@ -41,14 +44,31 @@ func TestPacketStreamGolden(t *testing.T) {
 }
 
 // TestPadElementNeverAssigned: platforms must never hand out the reserved
-// padding element ID.
+// padding element ID. 128 elements used to be a hard error; with
+// hierarchical config regions the platform splits into two regions whose
+// local ID spaces both stay clear of 127.
 func TestPadElementNeverAssigned(t *testing.T) {
 	m, err := topology.NewMesh(topology.MeshSpec{Width: 8, Height: 8, NIsPerRouter: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	// 128 elements: one too many (ID 127 is reserved).
-	if _, err := NewPlatform(m, DefaultParams(), m.NI(0, 0, 0)); err == nil {
-		t.Fatal("8x8 platform (128 elements) accepted despite reserved ID 127")
+	p, err := NewPlatform(m, DefaultParams(), m.NI(0, 0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Regions.Num(); got < 2 {
+		t.Fatalf("8x8 platform (128 elements) built %d region(s), want >= 2", got)
+	}
+	for _, n := range m.Nodes() {
+		if p.Regions.LocalID(n.ID) >= 127 {
+			t.Fatalf("node %s assigned reserved local ID %d", n.Name, p.Regions.LocalID(n.ID))
+		}
+	}
+	// A column that cannot fit any region is still a hard error: with
+	// NIsPerRouter=1 an 8-high column holds 16 elements.
+	params := DefaultParams()
+	params.MaxRegionElements = 8
+	if _, err := NewPlatform(m, params, m.NI(0, 0, 0)); err == nil {
+		t.Fatal("column larger than the region capacity accepted")
 	}
 }

@@ -17,18 +17,22 @@ import (
 // The paper lists this as one of the configuration network's duties:
 // "to configure and read back the state of the network interfaces".
 func (p *Platform) ReadRegister(element topology.NodeID, reg uint8, budget uint64) (uint8, error) {
-	words, err := cfgproto.ReadRegPacket(int(element), reg)
+	// Route via the element's region: the packet addresses the
+	// region-local ID, the response converges on that region's tree.
+	region := p.Regions.Of(element)
+	mod := p.Config.Region(region)
+	words, err := cfgproto.ReadRegPacket(p.Regions.LocalID(element), reg)
 	if err != nil {
 		return 0, err
 	}
-	if err := p.Host.SubmitPacket(words); err != nil {
+	if _, err := p.Config.Submit(region, words); err != nil {
 		return 0, err
 	}
-	_, ok := p.Sim.RunUntil(func() bool { return !p.Host.ReadOutstanding() && !p.Host.Busy() }, budget)
+	_, ok := p.Sim.RunUntil(func() bool { return !mod.ReadOutstanding() && !mod.Busy() }, budget)
 	if !ok {
 		return 0, fmt.Errorf("core: read of element %d register %#x timed out", element, reg)
 	}
-	v, valid := p.Host.ReadValue()
+	v, valid := mod.ReadValue()
 	if !valid {
 		return 0, fmt.Errorf("core: element %d register %#x produced no response", element, reg)
 	}

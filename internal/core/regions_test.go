@@ -1,0 +1,138 @@
+package core
+
+import (
+	"testing"
+
+	"daelite/internal/cfgproto"
+	"daelite/internal/phit"
+)
+
+// regionedPlatform builds a 4x4 platform forced into multiple config
+// regions (cap 20 over 32 elements: columns 0-1 in region 0, columns 2-3
+// in region 1).
+func regionedPlatform(t *testing.T) *Platform {
+	t.Helper()
+	params := DefaultParams()
+	params.MaxRegionElements = 20
+	p := newTestPlatform(t, 4, 4, params)
+	if got := p.Regions.Num(); got != 2 {
+		t.Fatalf("regions = %d, want 2", got)
+	}
+	if p.Config.NumRegions() != 2 || len(p.Trees) != 2 {
+		t.Fatalf("forest/trees not regioned: %d modules, %d trees", p.Config.NumRegions(), len(p.Trees))
+	}
+	return p
+}
+
+// TestCrossRegionUnicastDelivery opens a connection whose path crosses
+// the region boundary — its set-up packets are split across both config
+// trees — and verifies in-order delivery, readback through the remote
+// region's tree, and a clean tear-down.
+func TestCrossRegionUnicastDelivery(t *testing.T) {
+	p := regionedPlatform(t)
+	c, err := p.Open(ConnectionSpec{Src: p.Mesh.NI(0, 0, 0), Dst: p.Mesh.NI(3, 3, 0), SlotsFwd: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AwaitOpen(c, 10000); err != nil {
+		t.Fatal(err)
+	}
+	if c.Setup.Regions != 2 {
+		t.Fatalf("setup span touched %d region(s), want 2", c.Setup.Regions)
+	}
+
+	src, dst := p.NI(c.Spec.Src), p.NI(c.Spec.Dst)
+	const n = 20
+	for i := 0; i < n; i++ {
+		if !src.Send(c.SrcChannel, phit.Word(0x2000+i)) {
+			p.Run(16)
+			if !src.Send(c.SrcChannel, phit.Word(0x2000+i)) {
+				t.Fatalf("send %d rejected", i)
+			}
+		}
+		p.Run(4)
+	}
+	p.Run(600)
+	if got := dst.RecvLen(c.DstChannel); got != n {
+		t.Fatalf("delivered %d of %d across the region boundary", got, n)
+	}
+	for i := 0; i < n; i++ {
+		d, ok := dst.Recv(c.DstChannel)
+		if !ok || d.Word != phit.Word(0x2000+i) {
+			t.Fatalf("recv %d = %#x ok=%v, want %#x", i, d.Word, ok, 0x2000+i)
+		}
+	}
+
+	// Readback routes through the destination's (remote) region tree.
+	flags, err := p.ReadFlags(c.Spec.Dst, c.DstChannel, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flags&cfgproto.FlagOpen == 0 {
+		t.Fatalf("dst flags %#x missing FlagOpen", flags)
+	}
+
+	if err := p.Close(c); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.CompleteConfig(10000); err != nil {
+		t.Fatal(err)
+	}
+	flags, err = p.ReadFlags(c.Spec.Dst, 0, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flags != 0 {
+		t.Fatalf("dst flags %#x after teardown, want 0", flags)
+	}
+}
+
+// TestCrossRegionMulticast opens a multicast tree with destinations in
+// both regions and verifies every destination receives the stream.
+func TestCrossRegionMulticast(t *testing.T) {
+	p := regionedPlatform(t)
+	dsts := []struct{ x, y int }{{1, 3}, {3, 0}, {3, 3}}
+	spec := ConnectionSpec{Src: p.Mesh.NI(0, 0, 0), SlotsFwd: 2}
+	for _, d := range dsts {
+		spec.Dsts = append(spec.Dsts, p.Mesh.NI(d.x, d.y, 0))
+	}
+	c, err := p.Open(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AwaitOpen(c, 10000); err != nil {
+		t.Fatal(err)
+	}
+
+	src := p.NI(c.Spec.Src)
+	const n = 12
+	for i := 0; i < n; i++ {
+		if !src.Send(c.SrcChannel, phit.Word(0x3000+i)) {
+			p.Run(16)
+			if !src.Send(c.SrcChannel, phit.Word(0x3000+i)) {
+				t.Fatalf("send %d rejected", i)
+			}
+		}
+		p.Run(8)
+	}
+	p.Run(800)
+	for _, d := range c.Spec.Dsts {
+		ni := p.NI(d)
+		ch := c.DstChannels[d]
+		if got := ni.RecvLen(ch); got != n {
+			t.Fatalf("dst %s received %d of %d", p.Mesh.Node(d).Name, got, n)
+		}
+		for i := 0; i < n; i++ {
+			w, ok := ni.Recv(ch)
+			if !ok || w.Word != phit.Word(0x3000+i) {
+				t.Fatalf("dst %s word %d = %#x ok=%v", p.Mesh.Node(d).Name, i, w.Word, ok)
+			}
+		}
+	}
+	if err := p.Close(c); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.CompleteConfig(10000); err != nil {
+		t.Fatal(err)
+	}
+}

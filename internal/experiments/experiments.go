@@ -108,6 +108,7 @@ func All() ([]*Result, error) {
 		SlotPlacement,
 		PartialReconfig,
 		ModelVsModelArea,
+		RegionSetup,
 	}
 	var out []*Result
 	for _, run := range runs {

@@ -6,57 +6,35 @@ import (
 	"strings"
 	"time"
 
+	"daelite/internal/core"
+	"daelite/internal/ni"
 	"daelite/internal/phit"
 	"daelite/internal/report"
-	"daelite/internal/router"
 	"daelite/internal/sim"
-	"daelite/internal/slots"
 	"daelite/internal/topology"
+	"daelite/internal/traffic"
 )
 
-// BigMesh is a datapath-only W x H torus of cycle-accurate routers with
-// directly programmed slot tables, built for kernel-throughput work at
-// sizes the configuration protocol cannot address (its 7-bit element ID
-// space caps a full platform at 127 elements; a 16x16 mesh has 512).
-// Every row is programmed as a TDM ring — each router forwards its
-// west-input to its east-output in every slot — and a tap on each row's
-// wrap link consumes the arriving flits into a running fingerprint while
-// injecting fresh ones, so the whole structure carries live traffic on
-// every link, every cycle, deterministically.
+// BigMesh is a full W x H torus platform — routers, NIs, per-region
+// configuration trees — whose connections were set up through the real
+// configuration path. Before hierarchical config regions the 7-bit
+// element-ID space capped a configured platform at 127 elements and this
+// structure was a datapath-only approximation with directly programmed
+// slot tables; now a 16x16 torus (512 elements, six column-band regions)
+// opens its connections through region-enveloped configuration packets
+// like any small platform. One connection per row carries CBR traffic
+// from column 0 halfway around the ring, so every row moves live payload
+// each cycle and the delivered word stream folds into a deterministic
+// fingerprint.
 type BigMesh struct {
 	Sim           *sim.Simulator
+	Platform      *core.Platform
 	Width, Height int
 
-	taps []*meshTap
+	conns  []*core.Connection
+	sinks  []*traffic.Sink
+	hashes []uint64
 }
-
-// meshTap sits on one row's wrap-around link: it hashes and consumes the
-// flits the row delivers and injects a fresh flit each cycle. It owns its
-// output register and only reads the upstream wire, so it is
-// order-independent and runs in the parallel component set.
-type meshTap struct {
-	name  string
-	in    *sim.Reg[phit.Flit]
-	out   *sim.Reg[phit.Flit]
-	seq   uint64
-	seen  uint64
-	hash  uint64
-	delay uint64 // injection phase offset so rows differ
-}
-
-func (t *meshTap) Name() string { return t.name }
-
-func (t *meshTap) Eval(cycle uint64) {
-	f := t.in.Get()
-	if f.Valid {
-		t.seen++
-		t.hash = fnvMix(t.hash, uint64(f.Data))
-	}
-	t.seq++
-	t.out.Set(phit.Flit{Valid: true, Data: phit.Word(t.seq*2654435761 + t.delay)})
-}
-
-func (t *meshTap) Commit() {}
 
 // fnvMix folds v into an FNV-1a style running hash.
 func fnvMix(h, v uint64) uint64 {
@@ -70,89 +48,58 @@ func fnvMix(h, v uint64) uint64 {
 	return h
 }
 
-// BuildBigMesh assembles a Width x Height torus of routers with the given
-// TDM wheel on the simulation kernel with the given worker count.
+// BuildBigMesh assembles a Width x Height torus platform with the given
+// TDM wheel on the simulation kernel with the given worker count, and
+// opens one guaranteed-bandwidth connection per row through the
+// configuration trees.
 func BuildBigMesh(width, height, wheel, workers int) (*BigMesh, error) {
-	m, err := topology.NewMesh(topology.MeshSpec{Width: width, Height: height, Wrap: true})
+	params := core.DefaultParams()
+	params.Wheel = wheel
+	params.Workers = workers
+	p, err := core.NewMeshPlatform(topology.MeshSpec{Width: width, Height: height, NIsPerRouter: 1, Wrap: true}, params, 0, 0)
 	if err != nil {
 		return nil, err
 	}
-	s := sim.NewWithOptions(sim.Options{Workers: workers})
-	params := router.Params{Wheel: wheel, SlotWords: 2}
+	bm := &BigMesh{Sim: p.Sim, Platform: p, Width: width, Height: height}
 
-	routers := make(map[topology.NodeID]*router.Router, m.NumNodes())
-	for _, n := range m.Nodes() {
-		// Config element IDs alias above 127, which is harmless here:
-		// the big mesh carries no configuration traffic, only the
-		// directly programmed data path.
-		r, err := router.New(s, n.Name, int(n.ID)&0x7F, m.InDegree(n.ID), m.OutDegree(n.ID), params)
+	// One connection per row: NI(0,y) -> NI(width/2,y). On a 16-wide
+	// torus the path crosses several config regions, so the set-up
+	// exercises packet splitting and region-select envelopes.
+	for y := 0; y < height; y++ {
+		c, err := p.Open(core.ConnectionSpec{
+			Src: p.Mesh.NI(0, y, 0), Dst: p.Mesh.NI(width/2, y, 0), SlotsFwd: 2,
+		})
 		if err != nil {
+			return nil, fmt.Errorf("experiments: big mesh row %d: %w", y, err)
+		}
+		bm.conns = append(bm.conns, c)
+	}
+	for _, c := range bm.conns {
+		if err := p.AwaitOpen(c, 1_000_000); err != nil {
 			return nil, err
 		}
-		routers[n.ID] = r
 	}
 
-	// Port lookup: ports[from][to] = (output port at from, input port at
-	// to) of the directed link from -> to.
-	type portPair struct{ out, in int }
-	ports := make(map[topology.NodeID]map[topology.NodeID]portPair)
-	for _, l := range m.Links() {
-		if ports[l.From] == nil {
-			ports[l.From] = make(map[topology.NodeID]portPair)
-		}
-		ports[l.From][l.To] = portPair{out: l.FromPort, in: l.ToPort}
-	}
-
-	// Wire every directed link and program the row rings: west-input to
-	// east-output on all slots. The wrap link of each row passes through
-	// a tap.
-	full := slots.NewMask(wheel)
-	for sl := 0; sl < wheel; sl++ {
-		full = full.With(sl)
-	}
-	bm := &BigMesh{Sim: s, Width: width, Height: height}
-	for y := 0; y < height; y++ {
-		for x := 0; x < width; x++ {
-			id := m.Router(x, y)
-			east := m.Router((x+1)%width, y)
-			west := m.Router((x-1+width)%width, y)
-			pp := ports[id][east]
-			wire := routers[id].OutputWire(pp.out)
-			if x == width-1 { // row wrap link: interpose the tap
-				tap := &meshTap{
-					name:  fmt.Sprintf("tap-row%d", y),
-					in:    wire,
-					out:   sim.NewReg(s, phit.Idle()),
-					delay: uint64(y) * 977,
-				}
-				s.Add(tap)
-				bm.taps = append(bm.taps, tap)
-				wire = tap.out
-			}
-			routers[east].ConnectInput(pp.in, wire)
-			// Forward the west neighbour's traffic eastward in every
-			// slot.
-			inPort := ports[west][id].in
-			if err := routers[id].Table().Set(pp.out, full, inPort); err != nil {
-				return nil, err
-			}
-		}
-	}
-	// Column links stay connected but idle (their table entries are
-	// unprogrammed), matching a platform where only some links carry
-	// reserved slots.
-	for y := 0; y < height; y++ {
-		for x := 0; x < width; x++ {
-			id := m.Router(x, y)
-			for _, dy := range []int{-1, 1} {
-				n := m.Router(x, (y+dy+height)%height)
-				if n == id {
-					continue
-				}
-				pp := ports[id][n]
-				routers[n].ConnectInput(pp.in, routers[id].OutputWire(pp.out))
-			}
-		}
+	// CBR traffic on every row, below the 2-slot reservation so flow
+	// control never throttles the fingerprint stream; the sinks fold
+	// every delivered word and arrival cycle into per-row hashes.
+	bm.hashes = make([]uint64, len(bm.conns))
+	for i, c := range bm.conns {
+		y := i
+		traffic.NewSource(p.Sim, fmt.Sprintf("bigmesh-src-row%d", y), p.NI(c.Spec.Src), c.SrcChannel,
+			traffic.SourceConfig{
+				Pattern: traffic.CBR,
+				Rate:    0.2,
+				Payload: func(seq uint64) phit.Word { return phit.Word(seq*2654435761 + uint64(y)*977) },
+			})
+		sink := traffic.NewSink(p.Sim, fmt.Sprintf("bigmesh-sink-row%d", y), p.NI(c.Spec.Dst), c.DstChannel)
+		idx := i
+		sink.SetVerify(func(d ni.Delivery) error {
+			bm.hashes[idx] = fnvMix(bm.hashes[idx], uint64(d.Word))
+			bm.hashes[idx] = fnvMix(bm.hashes[idx], d.Cycle)
+			return nil
+		})
+		bm.sinks = append(bm.sinks, sink)
 	}
 	return bm, nil
 }
@@ -160,33 +107,39 @@ func BuildBigMesh(width, height, wheel, workers int) (*BigMesh, error) {
 // Run advances the mesh n cycles.
 func (bm *BigMesh) Run(n uint64) { bm.Sim.Run(n) }
 
-// Flits returns the total flits consumed by all row taps.
+// Flits returns the total words delivered to all row sinks.
 func (bm *BigMesh) Flits() uint64 {
 	var total uint64
-	for _, t := range bm.taps {
-		total += t.seen
+	for _, k := range bm.sinks {
+		total += k.Received()
 	}
 	return total
 }
 
-// Fingerprint folds every tap's delivery hash and count into one value;
+// Fingerprint folds every row's delivery hash and count into one value;
 // two runs are bit-identical iff their fingerprints match.
 func (bm *BigMesh) Fingerprint() uint64 {
 	var h uint64
-	for _, t := range bm.taps {
-		h = fnvMix(h, t.hash)
-		h = fnvMix(h, t.seen)
+	for i, k := range bm.sinks {
+		h = fnvMix(h, bm.hashes[i])
+		h = fnvMix(h, k.Received())
 	}
 	return fnvMix(h, bm.Sim.Cycle())
 }
 
-// ScalingThroughput is experiment E16: kernel throughput (simulated
-// cycles per wall-clock second) versus mesh size and worker count, on the
-// datapath-only big mesh. For every mesh size it also re-checks the
-// determinism contract: all worker counts must produce bit-identical
-// fingerprints. The cycles/sec numbers are wall-clock measurements and
-// machine-dependent, so E16 is excluded from the golden experiment output
-// (All) and surfaces through daelite-bench -json instead.
+// Connections returns the per-row connections (opened through the
+// configuration trees), for callers that inspect set-up spans.
+func (bm *BigMesh) Connections() []*core.Connection { return bm.conns }
+
+// ScalingThroughput is experiment E16: full-system throughput (simulated
+// cycles per wall-clock second) versus mesh size and worker count, on
+// complete torus platforms set up through the real configuration path —
+// including 16x16, which only exists thanks to hierarchical config
+// regions. For every mesh size it also re-checks the determinism
+// contract: all worker counts must produce bit-identical fingerprints.
+// The cycles/sec numbers are wall-clock measurements and
+// machine-dependent, so E16 is excluded from the golden experiment
+// output (All) and surfaces through daelite-bench -json instead.
 func ScalingThroughput() (*Result, error) {
 	res := newResult("E16", "parallel kernel scaling")
 	ncpu := runtime.GOMAXPROCS(0)
@@ -198,8 +151,8 @@ func ScalingThroughput() (*Result, error) {
 	sizes := []size{{4, 4}, {8, 8}, {16, 16}}
 	const cycles = 2000
 
-	t := report.NewTable("E16 — simulated cycles/sec vs mesh size vs workers (datapath-only torus)",
-		"Mesh", "Workers", "Components", "Cycles/sec", "Flits", "Deterministic")
+	t := report.NewTable("E16 — simulated cycles/sec vs mesh size vs workers (full platforms, regioned set-up)",
+		"Mesh", "Workers", "Elements", "Regions", "Cycles/sec", "Flits", "Deterministic")
 	var sb strings.Builder
 	for _, sz := range sizes {
 		var firstFP uint64
@@ -223,8 +176,10 @@ func ScalingThroughput() (*Result, error) {
 				return nil, fmt.Errorf("experiments: E16 %dx%d workers=%d fingerprint %x != sequential %x",
 					sz.w, sz.h, w, fp, firstFP)
 			}
-			t.AddRow(fmt.Sprintf("%dx%d", sz.w, sz.h), w, sz.w*sz.h, fmt.Sprintf("%.0f", cps), bm.Flits(), det)
+			t.AddRow(fmt.Sprintf("%dx%d", sz.w, sz.h), w, bm.Platform.Mesh.NumNodes(),
+				bm.Platform.Regions.Num(), fmt.Sprintf("%.0f", cps), bm.Flits(), det)
 			res.Metrics[fmt.Sprintf("cycles_per_sec_%dx%d_w%d", sz.w, sz.h, w)] = cps
+			bm.Sim.Shutdown()
 		}
 	}
 	sb.WriteString(t.Render())

@@ -202,8 +202,12 @@ type Span struct {
 	// drained through the tree (0 while still in flight).
 	SubmitCycle uint64 `json:"submit"`
 	SettleCycle uint64 `json:"settle"`
-	// Words counts the 7-bit configuration words of the transaction.
+	// Words counts the 7-bit configuration words of the transaction as
+	// transmitted on the wire, region-select envelopes included.
 	Words int `json:"words"`
+	// Regions counts the configuration regions the transaction touched
+	// (1 on single-region platforms; omitted when unknown).
+	Regions int `json:"regions,omitempty"`
 	// Detail carries a human-readable endpoint description.
 	Detail string `json:"detail,omitempty"`
 }

@@ -1,0 +1,125 @@
+package topology
+
+import "fmt"
+
+// Regions is a partition of a platform's network elements into
+// configuration regions. Each region holds at most MaxElements elements
+// and gets its own broadcast configuration tree, host port and 7-bit
+// element-ID space; Local maps every node to its region-local ID. A
+// platform that fits one region has the identity mapping, so small
+// platforms are bit-identical to the pre-region architecture.
+type Regions struct {
+	// MaxElements is the per-region element capacity the partition was
+	// built for.
+	MaxElements int
+	// ByNode is the region of every node, indexed by NodeID.
+	ByNode []int
+	// Local is every node's region-local element ID, indexed by NodeID.
+	// Within a region, local IDs are dense and follow global NodeID
+	// order; on a single-region partition Local[n] == n.
+	Local []int
+	// Members lists each region's nodes in ascending NodeID order.
+	Members [][]NodeID
+	// Roots is each region's configuration tree root (always a router).
+	Roots []NodeID
+}
+
+// Num returns the number of regions.
+func (r *Regions) Num() int { return len(r.Members) }
+
+// Of returns the region of a node.
+func (r *Regions) Of(n NodeID) int { return r.ByNode[n] }
+
+// LocalID returns a node's region-local element ID.
+func (r *Regions) LocalID(n NodeID) int { return r.Local[n] }
+
+// PartitionRegions splits the mesh into configuration regions of at most
+// maxElements elements each (0 selects 127, the capacity of the 7-bit
+// element-ID space with ID 127 reserved for padding). A mesh that fits
+// entirely is returned as one region rooted at ConfigRoot(hostNI).
+// Larger meshes are cut into bands of whole columns — neighbouring
+// columns stay together, so every region is a connected subgraph and its
+// own spanning tree reaches all members. The region containing the host
+// keeps ConfigRoot as its root; every other region is rooted at its
+// lowest-ID router.
+func (m *Mesh) PartitionRegions(hostNI NodeID, maxElements int) (*Regions, error) {
+	if maxElements == 0 {
+		maxElements = 127
+	}
+	if maxElements < 2 || maxElements > 127 {
+		return nil, fmt.Errorf("topology: region capacity %d out of range 2..127", maxElements)
+	}
+	hostRoot, err := m.ConfigRoot(hostNI)
+	if err != nil {
+		return nil, err
+	}
+	numNodes := m.NumNodes()
+	r := &Regions{
+		MaxElements: maxElements,
+		ByNode:      make([]int, numNodes),
+		Local:       make([]int, numNodes),
+	}
+	if numNodes <= maxElements {
+		members := make([]NodeID, numNodes)
+		for i := range members {
+			members[i] = NodeID(i)
+			r.Local[i] = i
+		}
+		r.Members = [][]NodeID{members}
+		r.Roots = []NodeID{hostRoot}
+		return r, nil
+	}
+
+	// Count elements per mesh column; NIs share their router's X.
+	width := m.Spec.Width
+	colElems := make([]int, width)
+	for _, n := range m.Nodes() {
+		x := n.X
+		if x < 0 || x >= width {
+			return nil, fmt.Errorf("topology: node %s at x=%d outside mesh width %d", n.Name, x, width)
+		}
+		colElems[x]++
+	}
+	// Greedily pack adjacent columns into bands of <= maxElements.
+	colRegion := make([]int, width)
+	region, load := 0, 0
+	for x := 0; x < width; x++ {
+		if colElems[x] > maxElements {
+			return nil, fmt.Errorf("topology: column %d has %d elements, exceeding the region capacity %d — no column-band partition exists", x, colElems[x], maxElements)
+		}
+		if load+colElems[x] > maxElements {
+			region++
+			load = 0
+		}
+		colRegion[x] = region
+		load += colElems[x]
+	}
+	numRegions := region + 1
+
+	r.Members = make([][]NodeID, numRegions)
+	for _, n := range m.Nodes() { // ascending NodeID order
+		reg := colRegion[n.X]
+		r.ByNode[n.ID] = reg
+		r.Local[n.ID] = len(r.Members[reg])
+		r.Members[reg] = append(r.Members[reg], n.ID)
+	}
+
+	// Roots: the host's region keeps the config root; the rest use their
+	// lowest-ID router.
+	r.Roots = make([]NodeID, numRegions)
+	for reg, members := range r.Members {
+		root := NodeID(-1)
+		for _, id := range members {
+			if m.Node(id).Kind == Router {
+				root = id
+				break
+			}
+		}
+		if root < 0 {
+			return nil, fmt.Errorf("topology: region %d has no router to root its config tree at", reg)
+		}
+		r.Roots[reg] = root
+	}
+	r.Roots[r.ByNode[hostRoot]] = hostRoot
+	return r, nil
+}

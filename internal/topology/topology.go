@@ -547,6 +547,14 @@ type SpanningTree struct {
 // BFSTree computes the minimal-depth spanning tree of all nodes reachable
 // from root, following directed links. Children are ordered by node ID.
 func (g *Graph) BFSTree(root NodeID) *SpanningTree {
+	return g.BFSTreeWithin(root, nil)
+}
+
+// BFSTreeWithin computes the minimal-depth spanning tree of the nodes
+// reachable from root through nodes satisfying member (nil admits every
+// node). Configuration regions use it to grow one tree per region that
+// never leaves the region's element set.
+func (g *Graph) BFSTreeWithin(root NodeID, member func(NodeID) bool) *SpanningTree {
 	t := &SpanningTree{
 		Root:     root,
 		Parent:   make(map[NodeID]NodeID),
@@ -561,6 +569,9 @@ func (g *Graph) BFSTree(root NodeID) *SpanningTree {
 			for _, l := range g.out[n] {
 				to := g.links[l].To
 				if _, seen := t.Depth[to]; seen {
+					continue
+				}
+				if member != nil && !member(to) {
 					continue
 				}
 				t.Depth[to] = t.Depth[n] + 1

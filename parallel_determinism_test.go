@@ -170,8 +170,9 @@ func TestParallelChaosSoakDeterministic(t *testing.T) {
 }
 
 // TestParallelSpeedup16x16 checks the performance half of the tentpole:
-// on a machine with enough cores, the parallel kernel runs the 16x16
-// datapath-only torus at least 2x faster than the sequential kernel. It
+// on a machine with enough cores, the parallel kernel runs the full
+// 16x16 torus platform (regioned configuration trees and all) at least
+// 2x faster than the sequential kernel. It
 // skips on small machines (the determinism tests above still run there);
 // BenchmarkBigMesh16x16[Par] report the exact ratio on any machine.
 func TestParallelSpeedup16x16(t *testing.T) {
