@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet fmt race bench benchdiff bench-baseline experiments golden examples cover cover-gate conform fuzz profile admd soak clean
+.PHONY: all build test vet fmt race bench benchdiff bench-baseline experiments golden examples cover cover-gate conform fuzz profile admd soak trace clean
 
 all: build vet test
 
@@ -54,6 +54,7 @@ examples:
 	$(GO) run ./examples/videopipeline
 	$(GO) run ./examples/faultrepair
 	$(GO) run ./examples/telemetry
+	$(GO) run ./examples/tracing
 
 cover:
 	$(GO) test -cover ./...
@@ -87,6 +88,16 @@ admd:
 soak:
 	$(GO) test -race -run 'TestSoakWithConcurrentScrape' -v ./internal/admission
 	$(GO) run ./cmd/daelite-bench -experiment E19
+
+# Produce a Perfetto-loadable causal trace of a regioned 6x6 run with
+# the flight recorder armed, and verify it is byte-identical across
+# kernel worker counts — the determinism contract the CI jobs gate.
+trace:
+	$(GO) run ./cmd/daelite-sim -mesh 6x6 -workers 1 -cycles 2000 -trace-out trace_w1.json -flight-dump flight 0,0-5,5:2 1,0-1,5:1
+	$(GO) run ./cmd/daelite-sim -mesh 6x6 -workers 2 -cycles 2000 -trace-out trace.json -flight-dump flight 0,0-5,5:2 1,0-1,5:1
+	cmp trace_w1.json trace.json
+	@rm -f trace_w1.json
+	@echo "wrote trace.json — load it at https://ui.perfetto.dev"
 
 # Profile the admission engine end to end (E17) and drop cpu.pprof /
 # mem.pprof for `go tool pprof`.

@@ -14,6 +14,7 @@ import (
 	"daelite/internal/experiments"
 	"daelite/internal/phit"
 	"daelite/internal/telemetry"
+	"daelite/internal/telemetry/tracing"
 	"daelite/internal/topology"
 )
 
@@ -151,14 +152,18 @@ func BenchmarkFaultRepair(b *testing.B) {
 
 // benchPlatformCycle measures raw simulation throughput of a loaded 4x4
 // platform (cycles per second of wall clock drive the harness cost),
-// optionally with a telemetry registry attached and harvesting.
-func benchPlatformCycle(b *testing.B, withTelemetry bool) {
+// optionally with a telemetry registry attached and harvesting, and
+// optionally with the causal tracer attached.
+func benchPlatformCycle(b *testing.B, withTelemetry, withTracing bool) {
 	p, err := core.NewMeshPlatform(topology.MeshSpec{Width: 4, Height: 4, NIsPerRouter: 1}, core.DefaultParams(), 0, 0)
 	if err != nil {
 		b.Fatal(err)
 	}
 	if withTelemetry {
 		p.AttachTelemetry(telemetry.NewRegistry(), 0)
+	}
+	if withTracing {
+		p.AttachTracer(tracing.New(tracing.Options{}))
 	}
 	c, err := p.Open(core.ConnectionSpec{Src: p.Mesh.NI(0, 1, 0), Dst: p.Mesh.NI(3, 3, 0), SlotsFwd: 2})
 	if err != nil {
@@ -183,13 +188,19 @@ func benchPlatformCycle(b *testing.B, withTelemetry bool) {
 
 // BenchmarkPlatformCycle is the baseline simulation throughput, telemetry
 // detached — the cost every run pays.
-func BenchmarkPlatformCycle(b *testing.B) { benchPlatformCycle(b, false) }
+func BenchmarkPlatformCycle(b *testing.B) { benchPlatformCycle(b, false, false) }
 
 // BenchmarkPlatformCycleTelemetry is the same platform with a telemetry
 // registry attached at the default harvest interval; the gap to
 // BenchmarkPlatformCycle is the observability overhead the cost contract
 // bounds (<= 5%, gated by daelite-benchdiff).
-func BenchmarkPlatformCycleTelemetry(b *testing.B) { benchPlatformCycle(b, true) }
+func BenchmarkPlatformCycleTelemetry(b *testing.B) { benchPlatformCycle(b, true, false) }
+
+// BenchmarkPlatformCycleTracing is the same platform with the causal
+// tracer attached. Spans are created only around configuration
+// transactions, never on the per-cycle datapath, so steady-state
+// stepping must stay inside the same <= 5% cost contract as telemetry.
+func BenchmarkPlatformCycleTracing(b *testing.B) { benchPlatformCycle(b, false, true) }
 
 // benchBigMesh measures raw kernel throughput (one simulated cycle per
 // op) on the full 16x16 torus platform — 512 elements set up through six

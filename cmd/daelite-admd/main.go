@@ -71,6 +71,16 @@ func main() {
 	}
 	reg := telemetry.NewRegistry()
 	p.AttachTelemetry(reg, pf.TelemetrySample)
+	// The service handler serves /metrics itself; StartExporters adds the
+	// optional standalone scrape endpoint (-metrics-addr), the final
+	// NDJSON telemetry snapshot (-telemetry-out), and the causal tracer /
+	// flight recorder (-trace-out / -flight-dump), reusing the registry
+	// attached above. Started before the service and checkers so both can
+	// hook the tracer and recorder.
+	exp, err := pf.StartExporters(p)
+	if err != nil {
+		fatal("%v", err)
+	}
 
 	s, err := admission.NewService(p, reg, admission.Config{
 		Tenants:           tenants,
@@ -81,21 +91,23 @@ func main() {
 		JournalPath:       journal,
 		SnapshotPath:      snapshot,
 		SnapshotEvery:     snapshotEvery,
+		// With the tracer attached, trace every request end-to-end;
+		// clients can still opt in per request with "trace": true.
+		TraceAll: pf.TracingEnabled(),
 	})
 	if err != nil {
 		fatal("%v", err)
 	}
 	var ck *conformance.Checker
 	if conform {
-		ck = conformance.Attach(p, reg, conformance.Options{})
-	}
-	// The service handler serves /metrics itself; StartExporters adds the
-	// optional standalone scrape endpoint (-metrics-addr) and the final
-	// NDJSON telemetry snapshot (-telemetry-out), reusing the registry
-	// attached above.
-	exp, err := pf.StartExporters(p)
-	if err != nil {
-		fatal("%v", err)
+		opts := conformance.Options{}
+		if exp != nil && exp.Recorder != nil {
+			rec := exp.Recorder
+			opts.OnViolation = func(v conformance.Violation) {
+				_, _ = rec.Dump("conformance-" + v.Check)
+			}
+		}
+		ck = conformance.Attach(p, reg, opts)
 	}
 	if restore && (snapshot != "" || journal != "") {
 		rep, err := s.Restore()

@@ -29,6 +29,7 @@ import (
 	"daelite/internal/phit"
 	"daelite/internal/sim"
 	"daelite/internal/telemetry"
+	"daelite/internal/telemetry/tracing"
 	"daelite/internal/topology"
 )
 
@@ -36,7 +37,7 @@ func main() {
 	var which, outPath, cpuProfile, memProfile string
 	var listOnly, jsonOut bool
 	var workers int
-	flag.StringVar(&which, "experiment", "", "run only the experiment with this ID (E1..E20, A1..A9) or artifact substring")
+	flag.StringVar(&which, "experiment", "", "run only the experiment with this ID (E1..E21, A1..A9) or artifact substring")
 	flag.BoolVar(&listOnly, "list", false, "list experiments without running them")
 	flag.StringVar(&outPath, "o", "", "also write the output to this file (with -json: the snapshot path)")
 	flag.BoolVar(&jsonOut, "json", false, "emit a BENCH_<rev>.json machine-readable snapshot instead of tables")
@@ -270,15 +271,19 @@ func newChain(workers, n int) *sim.Simulator {
 // platformCycleOp reproduces the root BenchmarkPlatformCycle workload: a
 // loaded 4x4 platform stepped one cycle per op. With telemetry set it
 // attaches a harvesting registry first, reproducing
-// BenchmarkPlatformCycleTelemetry — the pair bounds the observability
-// overhead in the gated set.
-func platformCycleOp(withTelemetry bool) (func(), error) {
+// BenchmarkPlatformCycleTelemetry; with tracing set it attaches the
+// causal tracer, reproducing BenchmarkPlatformCycleTracing — the trio
+// bounds the observability overhead in the gated set.
+func platformCycleOp(withTelemetry, withTracing bool) (func(), error) {
 	p, err := core.NewMeshPlatform(topology.MeshSpec{Width: 4, Height: 4, NIsPerRouter: 1}, core.DefaultParams(), 0, 0)
 	if err != nil {
 		return nil, err
 	}
 	if withTelemetry {
 		p.AttachTelemetry(telemetry.NewRegistry(), 0)
+	}
+	if withTracing {
+		p.AttachTracer(tracing.New(tracing.Options{}))
 	}
 	c, err := p.Open(core.ConnectionSpec{Src: p.Mesh.NI(0, 1, 0), Dst: p.Mesh.NI(3, 3, 0), SlotsFwd: 2})
 	if err != nil {
@@ -330,11 +335,13 @@ func writeJSON(outPath string) error {
 	for _, pb := range []struct {
 		name      string
 		telemetry bool
+		tracing   bool
 	}{
-		{"BenchmarkPlatformCycle", false},
-		{"BenchmarkPlatformCycleTelemetry", true},
+		{"BenchmarkPlatformCycle", false, false},
+		{"BenchmarkPlatformCycleTelemetry", true, false},
+		{"BenchmarkPlatformCycleTracing", false, true},
 	} {
-		op, err := platformCycleOp(pb.telemetry)
+		op, err := platformCycleOp(pb.telemetry, pb.tracing)
 		if err != nil {
 			return err
 		}

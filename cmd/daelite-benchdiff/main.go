@@ -24,8 +24,8 @@ import (
 )
 
 // defaultGate covers the kernel and platform micro-benchmarks the CI
-// perf job guards: BenchmarkPlatformCycle and its Telemetry variant (the
-// pair that bounds observability overhead), BenchmarkKernelStep*,
+// perf job guards: BenchmarkPlatformCycle and its Telemetry and Tracing
+// variants (the trio that bounds observability overhead), BenchmarkKernelStep*,
 // BenchmarkBigMesh*, the admission-engine BenchmarkAlloc* set (churn
 // and batch set-up throughput), and BenchmarkAdmissionRequest (one full
 // control-plane round trip through the admission service).

@@ -103,6 +103,12 @@ func main() {
 	}
 
 	mon := core.NewHealthMonitor(p, timeout)
+	if exp != nil && exp.Recorder != nil {
+		rec := exp.Recorder
+		mon.OnStall = func(c *core.Connection, cycle uint64) {
+			_, _ = rec.Dump("stall")
+		}
+	}
 	linkMon := stats.NewMonitor(p)
 	linkMon.ObserveFaults(inj)
 

@@ -37,6 +37,7 @@ func main() {
 	flag.Float64Var(&cfg.TeardownFrac, "teardown-frac", 0.3, "fraction of requests that tear down an open connection")
 	flag.Float64Var(&cfg.WhatIfFrac, "whatif-frac", 0.1, "fraction of requests that are read-only what-if probes")
 	flag.BoolVar(&cfg.Retry503, "retry", true, "retry requests refused with 503 backpressure")
+	flag.IntVar(&cfg.TraceSample, "trace-sample", 0, "trace every Nth request end-to-end and report the per-stage cycle breakdown (0 = off)")
 	flag.StringVar(&jsonOut, "json", "", "also write the report as JSON to this file (- for stdout)")
 	flag.Parse()
 	cfg.Tenants = flag.Args() // optional subset; empty = all advertised tenants

@@ -116,7 +116,14 @@ func main() {
 		if exp != nil {
 			reg = exp.Registry
 		}
-		ck = conformance.Attach(p, reg, conformance.Options{})
+		opts := conformance.Options{}
+		if exp != nil && exp.Recorder != nil {
+			rec := exp.Recorder
+			opts.OnViolation = func(v conformance.Violation) {
+				_, _ = rec.Dump("conformance-" + v.Check)
+			}
+		}
+		ck = conformance.Attach(p, reg, opts)
 	}
 	mon := stats.NewMonitor(p)
 	var rec *trace.Recorder
@@ -201,6 +208,12 @@ func main() {
 		}
 		mon.ObserveFaults(inj)
 		hmon = core.NewHealthMonitor(p, stallTimeout)
+		if exp != nil && exp.Recorder != nil {
+			rec := exp.Recorder
+			hmon.OnStall = func(c *core.Connection, cycle uint64) {
+				_, _ = rec.Dump("stall")
+			}
+		}
 		fmt.Printf("fault scheduled: %s dies at cycle %d\n", failLink, at)
 	}
 

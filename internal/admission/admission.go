@@ -35,6 +35,7 @@ import (
 
 	"daelite/internal/core"
 	"daelite/internal/telemetry"
+	"daelite/internal/telemetry/tracing"
 )
 
 // Config parameterizes a Service.
@@ -75,6 +76,10 @@ type Config struct {
 	// RetryAfter is the backpressure hint attached to 503 responses
 	// (default 50ms, rounded up to whole seconds on the HTTP header).
 	RetryAfter time.Duration
+	// TraceAll traces every request end-to-end when the platform has a
+	// causal tracer attached, as if each carried Trace: true. Individual
+	// requests can still opt in selectively via OpenRequest.Trace.
+	TraceAll bool
 }
 
 func (c Config) withDefaults() Config {
@@ -135,6 +140,15 @@ type pending struct {
 	handle uint64              // opClose
 	enq    time.Time
 	reply  chan reply
+
+	// Causal tracing (loop-owned): wantTrace is set at submit; the loop
+	// starts the request root and its queue-wait child at enqueue and
+	// stamps the grant/settle milestones in platform cycles.
+	wantTrace bool
+	trace     tracing.SpanRef
+	queueSpan tracing.SpanRef
+	enqCycle  uint64
+	grantCyc  uint64
 }
 
 // liveConn is the service-side record of one open connection.
@@ -441,8 +455,19 @@ func (s *Service) drainControl() {
 	}
 }
 
-// enqueue appends one arrival to its tenant FIFO.
+// enqueue appends one arrival to its tenant FIFO. Traced requests get
+// their root span and queue-wait child here — on the loop goroutine, in
+// arrival order, stamped with the platform cycle — so trace IDs and
+// span timings never depend on HTTP handler scheduling.
 func (s *Service) enqueue(pd *pending) {
+	if tr := s.p.Tracer(); tr != nil && (pd.wantTrace || s.cfg.TraceAll) {
+		cycle := s.p.Cycle()
+		pd.enqCycle = cycle
+		pd.trace = tr.StartRoot(fmt.Sprintf("%s %s", pd.op, pd.t.cfg.Name), "request", cycle)
+		tr.SetAttr(pd.trace, "tenant", pd.t.cfg.Name)
+		tr.SetAttr(pd.trace, "op", pd.op.String())
+		pd.queueSpan = tr.StartChild(pd.trace, "queue", "queue", cycle)
+	}
 	pd.t.fifo = append(pd.t.fifo, pd)
 	s.queuedCount++
 }
@@ -521,6 +546,10 @@ func (s *Service) popCloses() []*pending {
 		kept := t.fifo[:0]
 		for _, pd := range t.fifo {
 			if pd.op == opClose {
+				if pd.trace.Valid() {
+					pd.grantCyc = s.p.Cycle()
+					s.p.Tracer().End(pd.queueSpan, pd.grantCyc)
+				}
 				closes = append(closes, pd)
 				s.queuedCount--
 			} else {
@@ -583,6 +612,13 @@ func (s *Service) draft() (opens, whatifs []*pending) {
 				s.queuedCount--
 				t.deficit -= cost
 				progressed = true
+				if pd.trace.Valid() {
+					tr := s.p.Tracer()
+					pd.grantCyc = s.p.Cycle()
+					tr.End(pd.queueSpan, pd.grantCyc)
+					tr.Point(pd.trace, "drr_grant", "draft",
+						fmt.Sprintf("cost %d, deficit left %d", cost, t.deficit), pd.grantCyc)
+				}
 				if pd.op == opOpen {
 					pl := planned[t]
 					if t.overQuota(t.slotsUsed+pl.slots, t.conns+pl.conns, pd.cost) {
@@ -656,6 +692,9 @@ func (s *Service) runTick() {
 			rr.lc.setup = rr.lc.conn.SetupCycles()
 			s.setupCycles.Observe(rr.lc.setup)
 			rr.rep.body["setup_cycles"] = rr.lc.setup
+			if rr.pd.trace.Valid() {
+				rr.rep.body["stages"] = s.stageBreakdown(rr.pd, rr.lc)
+			}
 		}
 		s.answer(rr.pd, rr.rep)
 	}
@@ -685,7 +724,14 @@ func (s *Service) processCloses(closes []*pending) (handles []uint64, closeRepli
 			s.answer(pd, reply{status: 403, body: map[string]any{"error": fmt.Sprintf("connection %d belongs to %q", pd.handle, lc.tenant)}})
 			continue
 		}
-		if err := s.p.Close(lc.conn); err != nil {
+		if pd.trace.Valid() {
+			// The teardown configuration transaction becomes a child of
+			// this request's span.
+			s.p.SetTraceParent(pd.trace)
+		}
+		err := s.p.Close(lc.conn)
+		s.p.SetTraceParent(tracing.SpanRef{})
+		if err != nil {
 			s.answer(pd, reply{status: 500, body: map[string]any{"error": err.Error()}})
 			continue
 		}
@@ -713,6 +759,7 @@ func (s *Service) processWhatIfs(whatifs []*pending) {
 		uc, err := s.p.Alloc.DryRun(item.Reqs)
 		if err != nil {
 			pd.t.rejected.Inc()
+			s.tracePoint(pd, "dryrun", "alloc", "no fit: "+err.Error())
 			s.answer(pd, reply{status: 200, body: map[string]any{"fits": false, "reason": err.Error()}})
 			continue
 		}
@@ -724,6 +771,7 @@ func (s *Service) processWhatIfs(whatifs []*pending) {
 			slots += mc.InjectSlots.Count()
 		}
 		pd.t.accepted.Inc()
+		s.tracePoint(pd, "dryrun", "alloc", fmt.Sprintf("fits, %d slots", slots))
 		s.answer(pd, reply{status: 200, body: map[string]any{"fits": true, "slots": slots}})
 	}
 }
@@ -749,11 +797,26 @@ func (s *Service) processOpens(opens []*pending) ([]journalOpen, []openReply) {
 		return nil, nil
 	}
 	specs := make([]core.ConnectionSpec, len(opens))
+	var parents []tracing.SpanRef
 	for i, pd := range opens {
 		specs[i] = pd.spec
+		if pd.trace.Valid() {
+			if parents == nil {
+				parents = make([]tracing.SpanRef, len(opens))
+			}
+			parents[i] = pd.trace
+		}
 	}
 	s.batchOpenSize.Observe(uint64(len(opens)))
-	conns, errs := s.p.OpenBatch(specs)
+	var conns []*core.Connection
+	var errs []error
+	if parents != nil {
+		// Each traced item's set-up transaction (with its per-region
+		// inject and settle children) hangs under the request span.
+		conns, errs = s.p.OpenBatchTraced(specs, parents)
+	} else {
+		conns, errs = s.p.OpenBatch(specs)
+	}
 
 	recs := make([]journalOpen, 0, len(opens))
 	replies := make([]openReply, 0, len(opens))
@@ -772,6 +835,7 @@ func (s *Service) processOpens(opens []*pending) ([]journalOpen, []openReply) {
 			}
 			recs = append(recs, journalOpen{Tenant: pd.t.cfg.Name, Spec: toWireSpec(pd.spec), Outcome: outcome})
 			pd.t.rejected.Inc()
+			s.tracePoint(pd, "alloc", "alloc", string(outcome)+": "+err.Error())
 			replies = append(replies, openReply{pd: pd, rep: reply{status: status, body: map[string]any{"error": err.Error()}}})
 			continue
 		}
@@ -788,6 +852,7 @@ func (s *Service) processOpens(opens []*pending) ([]journalOpen, []openReply) {
 		pd.t.slotsUsed += pd.cost
 		pd.t.conns++
 		pd.t.accepted.Inc()
+		s.tracePoint(pd, "alloc", "alloc", fmt.Sprintf("committed: handle %d, %d slots", lc.handle, pd.cost))
 		recs = append(recs, journalOpen{Handle: lc.handle, Tenant: pd.t.cfg.Name, Spec: toWireSpec(pd.spec), Outcome: outcomeOK})
 		replies = append(replies, openReply{
 			pd: pd,
@@ -802,9 +867,55 @@ func (s *Service) processOpens(opens []*pending) ([]journalOpen, []openReply) {
 	return recs, replies
 }
 
+// tracePoint marks a pipeline milestone on a traced request's root span
+// at the current platform cycle; untraced requests pay nothing.
+func (s *Service) tracePoint(pd *pending, name, cat, detail string) {
+	if pd.trace.Valid() {
+		s.p.Tracer().Point(pd.trace, name, cat, detail, s.p.Cycle())
+	}
+}
+
+// stageBreakdown decomposes a settled open into per-stage cycle counts:
+// cross-tick queue wait, the inject window (configuration words draining
+// through the region trees), and the fixed settle tail. All values come
+// from the same cycle domain as the trace spans, so the sums reconcile
+// with the telemetry set-up span exactly.
+func (s *Service) stageBreakdown(pd *pending, lc *liveConn) map[string]uint64 {
+	queue := uint64(0)
+	if pd.grantCyc > pd.enqCycle {
+		queue = pd.grantCyc - pd.enqCycle
+	}
+	settleTail := s.p.ConfigSettleCycles()
+	inject := uint64(0)
+	if lc.setup > settleTail {
+		inject = lc.setup - settleTail
+	} else {
+		settleTail = lc.setup
+	}
+	done := lc.conn.Setup.SettleCycle
+	total := uint64(0)
+	if done > pd.enqCycle {
+		total = done - pd.enqCycle
+	}
+	return map[string]uint64{
+		"queue_cycles":  queue,
+		"inject_cycles": inject,
+		"settle_cycles": settleTail,
+		"total_cycles":  total,
+	}
+}
+
 // answer delivers a reply exactly once and records the request's
-// admission latency.
+// admission latency. Traced requests get their reply milestone and root
+// span closed here — the one place every request funnels through.
 func (s *Service) answer(pd *pending, r reply) {
+	if pd.trace.Valid() {
+		tr := s.p.Tracer()
+		cycle := s.p.Cycle()
+		tr.Point(pd.trace, "reply", "reply", fmt.Sprintf("status %d", r.status), cycle)
+		tr.End(pd.queueSpan, cycle) // still open on pre-draft rejections
+		tr.End(pd.trace, cycle)
+	}
 	pd.t.pending.Add(-1)
 	if !pd.enq.IsZero() {
 		us := time.Since(pd.enq).Microseconds()

@@ -68,31 +68,32 @@ func (s *Service) writeRefused(w http.ResponseWriter, err error) {
 }
 
 // decodeOpen parses and resolves an OpenRequest body into a normalized
-// spec plus the owning tenant, answering the request itself on failure.
-func (s *Service) decodeOpen(w http.ResponseWriter, r *http.Request) (*tenant, core.ConnectionSpec, int, bool) {
+// spec plus the owning tenant and trace opt-in, answering the request
+// itself on failure.
+func (s *Service) decodeOpen(w http.ResponseWriter, r *http.Request) (*tenant, core.ConnectionSpec, int, bool, bool) {
 	var req OpenRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeJSON(w, http.StatusBadRequest, map[string]any{"error": "bad request body: " + err.Error()})
-		return nil, core.ConnectionSpec{}, 0, false
+		return nil, core.ConnectionSpec{}, 0, false, false
 	}
 	t, ok := s.tenants[req.Tenant]
 	if !ok {
 		writeJSON(w, http.StatusNotFound, map[string]any{"error": fmt.Sprintf("unknown tenant %q", req.Tenant)})
-		return nil, core.ConnectionSpec{}, 0, false
+		return nil, core.ConnectionSpec{}, 0, false, false
 	}
 	spec, err := req.Spec(s.p.Mesh)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
-		return nil, core.ConnectionSpec{}, 0, false
+		return nil, core.ConnectionSpec{}, 0, false, false
 	}
 	// Normalize exactly as admission will, so quota charges and journal
 	// records agree with the allocator's view of the demand.
 	normalized, _, err := core.AllocItem(spec)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
-		return nil, core.ConnectionSpec{}, 0, false
+		return nil, core.ConnectionSpec{}, 0, false, false
 	}
-	return t, normalized, SlotCost(normalized), true
+	return t, normalized, SlotCost(normalized), req.Trace, true
 }
 
 // await submits and blocks for the single reply.
@@ -106,7 +107,7 @@ func (s *Service) await(w http.ResponseWriter, pd *pending) {
 }
 
 func (s *Service) handleOpen(w http.ResponseWriter, r *http.Request) {
-	t, spec, cost, ok := s.decodeOpen(w, r)
+	t, spec, cost, trace, ok := s.decodeOpen(w, r)
 	if !ok {
 		return
 	}
@@ -121,16 +122,16 @@ func (s *Service) handleOpen(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
-	pd := &pending{op: opOpen, t: t, spec: spec, cost: cost, enq: time.Now(), reply: make(chan reply, 1)}
+	pd := &pending{op: opOpen, t: t, spec: spec, cost: cost, enq: time.Now(), reply: make(chan reply, 1), wantTrace: trace}
 	s.await(w, pd)
 }
 
 func (s *Service) handleWhatIf(w http.ResponseWriter, r *http.Request) {
-	t, spec, cost, ok := s.decodeOpen(w, r)
+	t, spec, cost, trace, ok := s.decodeOpen(w, r)
 	if !ok {
 		return
 	}
-	pd := &pending{op: opWhatIf, t: t, spec: spec, cost: cost, enq: time.Now(), reply: make(chan reply, 1)}
+	pd := &pending{op: opWhatIf, t: t, spec: spec, cost: cost, enq: time.Now(), reply: make(chan reply, 1), wantTrace: trace}
 	s.await(w, pd)
 }
 
@@ -145,7 +146,8 @@ func (s *Service) handleClose(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusNotFound, map[string]any{"error": fmt.Sprintf("unknown tenant %q", r.URL.Query().Get("tenant"))})
 		return
 	}
-	pd := &pending{op: opClose, t: t, handle: handle, enq: time.Now(), reply: make(chan reply, 1)}
+	pd := &pending{op: opClose, t: t, handle: handle, enq: time.Now(), reply: make(chan reply, 1),
+		wantTrace: r.URL.Query().Get("trace") != ""}
 	s.await(w, pd)
 }
 

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -45,6 +46,13 @@ type LoadConfig struct {
 	// Retry-After hint capped to 5ms per attempt) instead of counting
 	// them refused.
 	Retry503 bool
+	// TraceSample, when N > 0, marks every Nth request for end-to-end
+	// causal tracing (OpenRequest.Trace / ?trace=1); the service then
+	// returns a per-stage cycle breakdown on accepted opens, which the
+	// report aggregates next to the latency percentiles. Which request
+	// indices are traced is a pure function of (Requests, TraceSample),
+	// independent of Concurrency.
+	TraceSample int
 	// Client overrides the HTTP client (default: 30s timeout).
 	Client *http.Client
 }
@@ -104,12 +112,26 @@ type LoadReport struct {
 	// 1/n = one tenant got everything.
 	Fairness float64 `json:"fairness"`
 
+	// TracedOpens counts accepted opens that came back with a per-stage
+	// cycle breakdown (requires TraceSample and a service-side tracer);
+	// Stages summarizes each pipeline stage over those opens, in cycles.
+	TracedOpens int                  `json:"traced_opens,omitempty"`
+	Stages      map[string]StageStat `json:"stages,omitempty"`
+
 	PerTenant map[string]*TenantLoad `json:"per_tenant"`
 
 	// BadStatus counts the responses behind Errors by HTTP status
 	// (status 0 = transport or decode failure) — the first place to
 	// look when a run reports errors.
 	BadStatus map[int]int `json:"bad_status,omitempty"`
+}
+
+// StageStat summarizes one admission-pipeline stage (queue wait, config
+// inject, tree settle, end-to-end total) over the traced accepted opens
+// of a load run. Values are simulation cycles, not wall time.
+type StageStat struct {
+	P50 int64 `json:"p50_cycles"`
+	P99 int64 `json:"p99_cycles"`
 }
 
 // AcceptanceRate is accepted requests over all requests sent.
@@ -126,6 +148,15 @@ func (r *LoadReport) String() string {
 	fmt.Fprintf(&b, "requests=%d accepted=%d (%.1f%%) nofit=%d quota=%d refused=%d errors=%d\n",
 		r.Requests, r.Accepted, 100*r.AcceptanceRate(), r.NoFit, r.Quota, r.Refused, r.Errors)
 	fmt.Fprintf(&b, "latency p50=%dus p99=%dus  fairness=%.3f\n", r.P50us, r.P99us, r.Fairness)
+	if r.TracedOpens > 0 {
+		fmt.Fprintf(&b, "stages over %d traced opens (cycles):", r.TracedOpens)
+		for _, name := range []string{"queue", "inject", "settle", "total"} {
+			if st, ok := r.Stages[name]; ok {
+				fmt.Fprintf(&b, "  %s p50=%d p99=%d", name, st.P50, st.P99)
+			}
+		}
+		b.WriteByte('\n')
+	}
 	if len(r.BadStatus) > 0 {
 		codes := make([]int, 0, len(r.BadStatus))
 		for c := range r.BadStatus {
@@ -222,8 +253,9 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	for _, n := range tenants {
 		report.PerTenant[n] = &TenantLoad{Weight: shape.weights[n]}
 	}
-	var mu sync.Mutex // guards report and latencies
+	var mu sync.Mutex // guards report, latencies and stageCycles
 	var latencies []int64
+	stageCycles := map[string][]int64{}
 
 	var remaining atomic.Int64
 	remaining.Store(int64(cfg.Requests))
@@ -238,7 +270,16 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 				h      uint64
 				tenant string
 			}
-			for remaining.Add(-1) >= 0 {
+			for {
+				// The countdown both bounds the run and numbers each
+				// request: the values are distinct across workers, so
+				// "every Nth" tracing picks the same request count no
+				// matter how the workers interleave.
+				seq := remaining.Add(-1)
+				if seq < 0 {
+					break
+				}
+				traced := cfg.TraceSample > 0 && seq%int64(cfg.TraceSample) == 0
 				tenant := tenants[rng.Intn(len(tenants))]
 				kind := "open"
 				roll := rng.Float64()
@@ -262,9 +303,10 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 					handles[idx] = handles[len(handles)-1]
 					handles = handles[:len(handles)-1]
 					tenant = hc.tenant
-					status, body, err = doClose(cfg, hc.tenant, hc.h)
+					status, body, err = doClose(cfg, hc.tenant, hc.h, traced)
 				default:
 					req := randomOpen(rng, shape, tenant, cfg)
+					req.Trace = traced
 					path := "/v1/connections"
 					if kind == "whatif" {
 						path = "/v1/whatif"
@@ -296,6 +338,15 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 								tenant string
 							}{uint64(h), tenant})
 						}
+						if st, ok := body["stages"].(map[string]any); ok {
+							report.TracedOpens++
+							for k, v := range st {
+								if f, ok := v.(float64); ok {
+									k = strings.TrimSuffix(k, "_cycles")
+									stageCycles[k] = append(stageCycles[k], int64(f))
+								}
+							}
+						}
 					}
 				case status == http.StatusConflict:
 					tl.NoFit++
@@ -326,6 +377,13 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	report.P50us = percentile(latencies, 50)
 	report.P99us = percentile(latencies, 99)
 	report.Fairness = jainIndex(report)
+	if len(stageCycles) > 0 {
+		report.Stages = map[string]StageStat{}
+		for name, vals := range stageCycles {
+			sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+			report.Stages[name] = StageStat{P50: percentile(vals, 50), P99: percentile(vals, 99)}
+		}
+	}
 	return report, nil
 }
 
@@ -390,8 +448,11 @@ func doPost(cfg LoadConfig, path string, req OpenRequest) (int, map[string]any, 
 	}
 }
 
-func doClose(cfg LoadConfig, tenant string, handle uint64) (int, map[string]any, error) {
+func doClose(cfg LoadConfig, tenant string, handle uint64, traced bool) (int, map[string]any, error) {
 	url := fmt.Sprintf("%s/v1/connections/%d?tenant=%s", cfg.BaseURL, handle, tenant)
+	if traced {
+		url += "&trace=1"
+	}
 	for attempt := 0; ; attempt++ {
 		req, err := http.NewRequest(http.MethodDelete, url, nil)
 		if err != nil {

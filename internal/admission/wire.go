@@ -81,6 +81,10 @@ type OpenRequest struct {
 	Multipath bool      `json:"multipath,omitempty"`
 	MaxDetour int       `json:"max_detour,omitempty"`
 	Spread    bool      `json:"spread,omitempty"`
+	// Trace requests an end-to-end causal trace of this request (root
+	// span + pipeline stages) when the service platform has a tracer
+	// attached; the reply then carries a per-stage cycle breakdown.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // Spec resolves the request against the platform's mesh.

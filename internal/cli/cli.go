@@ -14,11 +14,15 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"daelite/internal/core"
 	"daelite/internal/telemetry"
+	"daelite/internal/telemetry/tracing"
 	"daelite/internal/topology"
 )
 
@@ -43,6 +47,19 @@ type PlatformFlags struct {
 	// TelemetrySample is the harvest interval in cycles (<= 0 selects
 	// core.DefaultTelemetrySample).
 	TelemetrySample int
+
+	// TraceOut, when non-empty, attaches the causal tracer and writes
+	// the run's trace as Chrome trace-event JSON (Perfetto-loadable) to
+	// this file at the end of the run.
+	TraceOut string
+	// FlightDump, when non-empty, attaches the causal tracer and arms
+	// the flight recorder: on a trigger (conformance violation, health
+	// stall, SIGQUIT) the recent span/event rings dump to
+	// <prefix>-<reason>.ndjson and <prefix>-<reason>.trace.json.
+	FlightDump string
+	// Pprof registers net/http/pprof handlers on the -metrics-addr
+	// listener under /debug/pprof/.
+	Pprof bool
 }
 
 // RegisterPlatformFlags binds the shared flags to fs with the standard
@@ -55,6 +72,9 @@ func RegisterPlatformFlags(fs *flag.FlagSet) *PlatformFlags {
 	fs.StringVar(&f.MetricsAddr, "metrics-addr", "", "serve Prometheus metrics on this address (host:port) during the run")
 	fs.StringVar(&f.TelemetryOut, "telemetry-out", "", "write an NDJSON telemetry snapshot to this file at the end of the run")
 	fs.IntVar(&f.TelemetrySample, "telemetry-sample", core.DefaultTelemetrySample, "telemetry harvest interval in cycles")
+	fs.StringVar(&f.TraceOut, "trace-out", "", "write the causal trace (Chrome trace-event JSON) to this file at the end of the run")
+	fs.StringVar(&f.FlightDump, "flight-dump", "", "arm the flight recorder; dumps write to <prefix>-<reason>.{ndjson,trace.json}")
+	fs.BoolVar(&f.Pprof, "pprof", false, "serve net/http/pprof under /debug/pprof/ on -metrics-addr")
 	return f
 }
 
@@ -80,6 +100,11 @@ func (f *PlatformFlags) TelemetryEnabled() bool {
 	return f.MetricsAddr != "" || f.TelemetryOut != ""
 }
 
+// TracingEnabled reports whether any causal-tracing flag was given.
+func (f *PlatformFlags) TracingEnabled() bool {
+	return f.TraceOut != "" || f.FlightDump != ""
+}
+
 // Exporters is the live exporter state of one run: the registry the
 // platform publishes into, the optional HTTP server, and the pending
 // NDJSON output path. A nil *Exporters is valid and inert, so callers can
@@ -87,12 +112,21 @@ func (f *PlatformFlags) TelemetryEnabled() bool {
 type Exporters struct {
 	// Registry is the attached telemetry registry.
 	Registry *telemetry.Registry
+	// Tracer is the attached causal tracer (nil unless -trace-out or
+	// -flight-dump was given).
+	Tracer *tracing.Tracer
+	// Recorder is the armed flight recorder (nil unless -flight-dump
+	// was given). Front-ends hook their dump triggers (conformance
+	// violations, health stalls) onto it; SIGQUIT is armed here.
+	Recorder *tracing.Recorder
 
-	p    *core.Platform
-	srv  *http.Server
-	ln   net.Listener
-	out  string
-	addr string
+	p        *core.Platform
+	srv      *http.Server
+	ln       net.Listener
+	out      string
+	traceOut string
+	addr     string
+	sigDone  func()
 }
 
 // StartExporters attaches a telemetry registry to the platform and starts
@@ -105,7 +139,10 @@ type Exporters struct {
 // it never touches simulation state, so scraping is race-free while the
 // run is stepping; values are at most one sample interval stale.
 func (f *PlatformFlags) StartExporters(p *core.Platform) (*Exporters, error) {
-	if !f.TelemetryEnabled() {
+	if f.Pprof && f.MetricsAddr == "" {
+		return nil, fmt.Errorf("-pprof requires -metrics-addr")
+	}
+	if !f.TelemetryEnabled() && !f.TracingEnabled() {
 		return nil, nil
 	}
 	reg := p.Telemetry()
@@ -113,7 +150,18 @@ func (f *PlatformFlags) StartExporters(p *core.Platform) (*Exporters, error) {
 		reg = telemetry.NewRegistry()
 		p.AttachTelemetry(reg, f.TelemetrySample)
 	}
-	e := &Exporters{Registry: reg, p: p, out: f.TelemetryOut}
+	e := &Exporters{Registry: reg, p: p, out: f.TelemetryOut, traceOut: f.TraceOut}
+	if f.TracingEnabled() {
+		e.Tracer = p.Tracer()
+		if e.Tracer == nil {
+			e.Tracer = tracing.New(tracing.Options{})
+			p.AttachTracer(e.Tracer)
+		}
+		if f.FlightDump != "" {
+			e.Recorder = tracing.NewRecorder(e.Tracer, f.FlightDump)
+			e.sigDone = armSIGQUIT(e.Recorder)
+		}
+	}
 	if f.MetricsAddr != "" {
 		ln, err := net.Listen("tcp", f.MetricsAddr)
 		if err != nil {
@@ -124,12 +172,39 @@ func (f *PlatformFlags) StartExporters(p *core.Platform) (*Exporters, error) {
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 			_ = telemetry.WritePrometheus(w, reg)
 		})
+		if f.Pprof {
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		}
 		e.ln = ln
 		e.addr = ln.Addr().String()
 		e.srv = &http.Server{Handler: mux}
 		go func() { _ = e.srv.Serve(ln) }()
 	}
 	return e, nil
+}
+
+// armSIGQUIT dumps the flight recorder on SIGQUIT — the classic "what is
+// this process doing" signal — and returns a disarm function. The dump
+// is written from the signal goroutine; the tracer's rings are
+// mutex-guarded, so a concurrent stepping run is safe to snapshot.
+func armSIGQUIT(rec *tracing.Recorder) func() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGQUIT)
+	go func() {
+		for range ch {
+			if paths, err := rec.Dump("sigquit"); err == nil && paths != nil {
+				fmt.Fprintf(os.Stderr, "flight recorder: dumped %v\n", paths)
+			}
+		}
+	}()
+	return func() {
+		signal.Stop(ch)
+		close(ch)
+	}
 }
 
 // MetricsURL returns the scrape URL of the running endpoint ("" without
@@ -150,8 +225,23 @@ func (e *Exporters) Close() error {
 	if e == nil {
 		return nil
 	}
+	if e.sigDone != nil {
+		e.sigDone()
+	}
 	e.p.FlushTelemetry()
 	var firstErr error
+	if e.traceOut != "" {
+		f, err := os.Create(e.traceOut)
+		if err == nil {
+			err = tracing.WriteChrome(f, e.Tracer)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			firstErr = fmt.Errorf("-trace-out: %w", err)
+		}
+	}
 	if e.out != "" {
 		f, err := os.Create(e.out)
 		if err == nil {
@@ -160,7 +250,7 @@ func (e *Exporters) Close() error {
 				err = cerr
 			}
 		}
-		if err != nil {
+		if err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("-telemetry-out: %w", err)
 		}
 	}

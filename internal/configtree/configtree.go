@@ -122,6 +122,17 @@ func (m *Module) ForwardWire() *sim.Reg[phit.ConfigWord] { return m.fwd }
 // ConnectResponse attaches the root element's reverse wire.
 func (m *Module) ConnectResponse(w *sim.Reg[phit.Response]) { m.resp = w }
 
+// QueueLen reports the words currently staged in the module — committed
+// queue plus pending submissions — i.e. the backlog a freshly submitted
+// packet waits behind.
+func (m *Module) QueueLen() int {
+	n := len(m.queue)
+	for _, p := range m.pending {
+		n += len(p.words)
+	}
+	return n
+}
+
 type pendingPacket struct {
 	words  []phit.ConfigWord
 	isRead bool

@@ -36,6 +36,7 @@ import (
 	"daelite/internal/sim"
 	"daelite/internal/slots"
 	"daelite/internal/telemetry"
+	"daelite/internal/telemetry/tracing"
 	"daelite/internal/topology"
 )
 
@@ -60,6 +61,10 @@ type Options struct {
 	MaxEvents int
 	// LineRate disables the multicast zero-drop check when false.
 	LineRate bool
+	// OnViolation, when set, is called for each recorded violation
+	// (within the MaxEvents cap) from the checking probe on the
+	// stepping goroutine — the flight recorder's dump trigger.
+	OnViolation func(Violation)
 }
 
 // Violation is one recorded invariant failure.
@@ -269,9 +274,14 @@ func (ck *Checker) violate(cycle uint64, check, format string, args ...interface
 	}
 	ck.events++
 	detail := fmt.Sprintf(format, args...)
-	ck.violations = append(ck.violations, Violation{Cycle: cycle, Check: check, Detail: detail})
+	v := Violation{Cycle: cycle, Check: check, Detail: detail}
+	ck.violations = append(ck.violations, v)
 	ck.reg.Emit(telemetry.Event{Cycle: cycle, Kind: "conformance_violation",
 		Detail: check + ": " + detail})
+	ck.p.Tracer().Point(tracing.SpanRef{}, "conformance_violation", check, detail, cycle)
+	if ck.opt.OnViolation != nil {
+		ck.opt.OnViolation(v)
+	}
 }
 
 // perCycle runs the cheap wire-level checks every cycle.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"daelite/internal/alloc"
+	"daelite/internal/telemetry/tracing"
 	"daelite/internal/topology"
 )
 
@@ -44,7 +45,19 @@ func (p *Platform) OpenBatch(specs []ConnectionSpec) ([]*Connection, []error) {
 	for i := range prefs {
 		prefs[i] = chanPref{src: -1, dst: -1}
 	}
-	return p.openBatch(specs, prefs)
+	return p.openBatch(specs, prefs, nil)
+}
+
+// OpenBatchTraced is OpenBatch with a per-item trace parent: item i's
+// set-up transaction span is parented under parents[i] (an invalid ref
+// opens a fresh trace). The admission control plane uses it to hang each
+// set-up under the request span that caused it.
+func (p *Platform) OpenBatchTraced(specs []ConnectionSpec, parents []tracing.SpanRef) ([]*Connection, []error) {
+	prefs := make([]chanPref, len(specs))
+	for i := range prefs {
+		prefs[i] = chanPref{src: -1, dst: -1}
+	}
+	return p.openBatch(specs, prefs, parents)
 }
 
 // AllocItem translates a connection spec into the allocator batch item
@@ -73,7 +86,7 @@ func AllocItem(spec ConnectionSpec) (ConnectionSpec, alloc.BatchItem, error) {
 	}}, nil
 }
 
-func (p *Platform) openBatch(specs []ConnectionSpec, prefs []chanPref) ([]*Connection, []error) {
+func (p *Platform) openBatch(specs []ConnectionSpec, prefs []chanPref, parents []tracing.SpanRef) ([]*Connection, []error) {
 	items := make([]alloc.BatchItem, len(specs))
 	normalized := make([]ConnectionSpec, len(specs))
 	preErr := make([]error, len(specs))
@@ -89,7 +102,15 @@ func (p *Platform) openBatch(specs []ConnectionSpec, prefs []chanPref) ([]*Conne
 
 	conns := make([]*Connection, len(specs))
 	errs := make([]error, len(specs))
+	if parents != nil {
+		// Each item's set-up transaction adopts its own trace parent.
+		saved := p.traceParent
+		defer func() { p.traceParent = saved }()
+	}
 	for i := range specs {
+		if parents != nil && i < len(parents) {
+			p.traceParent = parents[i]
+		}
 		if preErr[i] != nil {
 			errs[i] = preErr[i]
 			continue

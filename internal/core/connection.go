@@ -357,6 +357,7 @@ func (p *Platform) submitAll(c *Connection, packets []cfgPacket) error {
 		c.Setup.Words += n // wire words, envelope included
 	}
 	p.pendingSpans = append(p.pendingSpans, &c.Setup)
+	p.traceConfig(&c.Setup, packets)
 	return nil
 }
 
@@ -449,6 +450,7 @@ func (p *Platform) Close(c *Connection) error {
 		td.Words += n
 	}
 	p.pendingSpans = append(p.pendingSpans, td)
+	p.traceConfig(td, packets)
 
 	// Release bookkeeping.
 	if c.Tree != nil {

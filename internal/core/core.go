@@ -22,6 +22,7 @@ import (
 	"daelite/internal/router"
 	"daelite/internal/sim"
 	"daelite/internal/telemetry"
+	"daelite/internal/telemetry/tracing"
 	"daelite/internal/topology"
 )
 
@@ -140,6 +141,14 @@ type Platform struct {
 	tel          *telemetry.Registry
 	harvest      *telHarvest
 	pendingSpans []*telemetry.Span
+
+	// tracer is the attached causal tracer (nil when tracing is off);
+	// traceParent is the span adopted as parent by newly submitted
+	// configuration transactions; pendingTraces holds the transaction
+	// traces CompleteConfig ends at settle.
+	tracer        *tracing.Tracer
+	traceParent   tracing.SpanRef
+	pendingTraces []*pendingTrace
 }
 
 // NewMeshPlatform builds a Width x Height mesh platform with one NI per
@@ -384,12 +393,34 @@ func (p *Platform) ConfigSettleCycles() uint64 {
 // trees have drained. It returns the cycle at which configuration
 // completed, or an error on budget exhaustion.
 func (p *Platform) CompleteConfig(budget uint64) (uint64, error) {
-	_, ok := p.Sim.RunUntil(func() bool { return !p.Config.Busy() }, budget)
+	drained := func() bool { return !p.Config.Busy() }
+	var idle []uint64
+	if p.tracer != nil && len(p.pendingTraces) > 0 {
+		// Record each region's first-idle cycle for the per-region
+		// inject spans. The predicate runs on the stepping goroutine
+		// after every cycle, and modules only drain during this wait
+		// (no new submissions), so first-idle is well defined and
+		// deterministic.
+		idle = make([]uint64, p.Config.NumRegions())
+		drained = func() bool {
+			all := true
+			for r := 0; r < p.Config.NumRegions(); r++ {
+				if p.Config.Region(r).Busy() {
+					all = false
+				} else if idle[r] == 0 {
+					idle[r] = p.Sim.Cycle()
+				}
+			}
+			return all
+		}
+	}
+	_, ok := p.Sim.RunUntil(drained, budget)
 	if !ok {
 		return p.Sim.Cycle(), fmt.Errorf("core: configuration did not drain within %d cycles", budget)
 	}
 	p.Sim.Run(p.ConfigSettleCycles())
 	done := p.Sim.Cycle()
+	p.settleTraces(idle, done)
 	// Every submitted transaction has drained: settle its span and
 	// publish it. Spans settle even without a registry — SetupCycles
 	// reads them directly.

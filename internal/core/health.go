@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"daelite/internal/telemetry"
+	"daelite/internal/telemetry/tracing"
 	"daelite/internal/topology"
 )
 
@@ -25,6 +26,11 @@ type HealthMonitor struct {
 	p       *Platform
 	timeout uint64
 	state   map[int]*connHealth
+
+	// OnStall, when set, is called from the polling probe (stepping
+	// goroutine, deterministic order) the cycle a stall is declared —
+	// the flight recorder arms its dump trigger here.
+	OnStall func(c *Connection, cycle uint64)
 }
 
 type connHealth struct {
@@ -124,12 +130,17 @@ func (h *HealthMonitor) poll(cycle uint64) {
 			if cycle-la >= h.timeout {
 				st.stalled = true
 				st.detect = cycle
+				detail := fmt.Sprintf("conn %d (%s)", id, h.p.connDetail(c.Spec))
 				if h.p.tel != nil {
 					h.p.tel.Emit(telemetry.Event{
 						Cycle:  cycle,
 						Kind:   "stall",
-						Detail: fmt.Sprintf("conn %d (%s)", id, h.p.connDetail(c.Spec)),
+						Detail: detail,
 					})
+				}
+				h.p.tracer.Point(tracing.SpanRef{}, "stall", "health", detail, cycle)
+				if h.OnStall != nil {
+					h.OnStall(c, cycle)
 				}
 				break
 			}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"daelite/internal/telemetry"
+	"daelite/internal/telemetry/tracing"
 	"daelite/internal/topology"
 )
 
@@ -75,6 +76,20 @@ func (p *Platform) Repair(c *Connection, budget uint64) (*RepairResult, error) {
 		SubmitCycle: p.Sim.Cycle(),
 		Excluded:    p.Alloc.ExcludedLinks(),
 	}
+	if p.tracer != nil {
+		// The repair span parents both configuration legs (teardown +
+		// re-set-up); the deferred End stamps it when the repair
+		// returns — at settle on success, at the failure cycle
+		// otherwise (a second End is a no-op).
+		rspan := p.tracer.StartChild(p.traceParent, fmt.Sprintf("repair #%d", c.ID), "repair", res.SubmitCycle)
+		p.tracer.SetAttr(rspan, "detail", p.connDetail(c.Spec))
+		saved := p.traceParent
+		p.traceParent = rspan
+		defer func() {
+			p.traceParent = saved
+			p.tracer.End(rspan, p.Sim.Cycle())
+		}()
+	}
 	spec := c.Spec
 	prefSrc := c.SrcChannel
 	prefDst := c.DstChannel
@@ -137,6 +152,26 @@ func (p *Platform) RepairStalled(h *HealthMonitor, budget uint64) ([]*RepairResu
 	excluded := p.Alloc.ExcludedLinks()
 	submit := p.Sim.Cycle()
 
+	// One repair span per stalled connection, each parenting its own
+	// teardown and re-set-up legs; all end together when the shared
+	// configuration settle returns (or at the failure cycle).
+	var roots []tracing.SpanRef
+	if p.tracer != nil {
+		roots = make([]tracing.SpanRef, len(stalled))
+		saved := p.traceParent
+		for i, c := range stalled {
+			roots[i] = p.tracer.StartChild(saved, fmt.Sprintf("repair #%d", c.ID), "repair", submit)
+			p.tracer.SetAttr(roots[i], "detail", p.connDetail(c.Spec))
+		}
+		defer func() {
+			p.traceParent = saved
+			cycle := p.Sim.Cycle()
+			for _, r := range roots {
+				p.tracer.End(r, cycle)
+			}
+		}()
+	}
+
 	// Tear every stalled connection down first: their slots return to the
 	// pool, so the batch re-admission sees the full residual capacity.
 	specs := make([]ConnectionSpec, len(stalled))
@@ -148,12 +183,15 @@ func (p *Platform) RepairStalled(h *HealthMonitor, budget uint64) ([]*RepairResu
 		prefs[i] = chanPref{src: c.SrcChannel, dst: c.DstChannel, dsts: c.DstChannels}
 		detects[i] = h.DetectCycle(c.ID)
 		oldIDs[i] = c.ID
+		if roots != nil {
+			p.traceParent = roots[i]
+		}
 		if err := p.Close(c); err != nil {
 			return nil, fmt.Errorf("core: repair tear-down: %w", err)
 		}
 	}
 
-	conns, errs := p.openBatch(specs, prefs)
+	conns, errs := p.openBatch(specs, prefs, roots)
 	if _, err := p.CompleteConfig(budget); err != nil {
 		return nil, fmt.Errorf("core: repair configuration: %w", err)
 	}

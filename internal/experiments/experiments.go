@@ -109,6 +109,7 @@ func All() ([]*Result, error) {
 		PartialReconfig,
 		ModelVsModelArea,
 		RegionSetup,
+		TraceBreakdown,
 	}
 	var out []*Result
 	for _, run := range runs {

@@ -24,6 +24,7 @@ import (
 	"daelite/internal/sim"
 	"daelite/internal/slots"
 	"daelite/internal/telemetry"
+	"daelite/internal/telemetry/tracing"
 	"daelite/internal/topology"
 )
 
@@ -337,13 +338,24 @@ func (inj *Injector) Eval(cycle uint64) {
 	}
 }
 
-// announce emits the one-time activation event of fault i.
+// announce emits the one-time activation event of fault i, into the
+// telemetry registry and the causal trace (whichever is attached).
 func (inj *Injector) announce(i int, cycle uint64) {
-	if inj.tel == nil || inj.announced[i] {
+	tr := inj.p.Tracer()
+	if inj.tel == nil && tr == nil {
+		return
+	}
+	if inj.announced == nil {
+		inj.announced = make([]bool, len(inj.faults))
+	}
+	if inj.announced[i] {
 		return
 	}
 	inj.announced[i] = true
-	inj.tel.Emit(telemetry.Event{Cycle: cycle, Kind: "fault", Detail: inj.faults[i].String()})
+	if inj.tel != nil {
+		inj.tel.Emit(telemetry.Event{Cycle: cycle, Kind: "fault", Detail: inj.faults[i].String()})
+	}
+	tr.Point(tracing.SpanRef{}, "fault", "fault", inj.faults[i].String(), cycle)
 }
 
 // fires decides a transient fault's per-cycle activation.

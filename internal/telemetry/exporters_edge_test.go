@@ -1,0 +1,125 @@
+package telemetry
+
+// Exporter edge cases: the corners a scraper or offline parser would
+// trip over — label values needing escaping, the histogram's implicit
+// +Inf bucket, and the NDJSON span record round-tripping every field
+// (Regions included) through encoding/json.
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestPrometheusLabelValueEscaping: label values carrying quotes,
+// backslashes and newlines must render as valid Prometheus text —
+// %q-escaped, one metric per line.
+func TestPrometheusLabelValueEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("edge_total", L("path", `a\b`)).Add(1)
+	reg.Counter("edge_total", L("path", `say "hi"`)).Add(2)
+	reg.Counter("edge_total", L("path", "two\nlines")).Add(3)
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, reg); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`daelite_edge_total{path="a\\b"} 1`,
+		`daelite_edge_total{path="say \"hi\""} 2`,
+		`daelite_edge_total{path="two\nlines"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("export missing %q in:\n%s", want, out)
+		}
+	}
+	// A raw newline inside a label value would split the series across
+	// lines and corrupt the exposition; every line must be a comment, a
+	// metric sample, or empty.
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !strings.HasPrefix(line, "daelite_") {
+			t.Errorf("stray exposition line %q — unescaped newline?", line)
+		}
+	}
+}
+
+// TestPrometheusHistogramInfBucket: the +Inf bucket must always render,
+// equal the total count, and sit above every finite cumulative bucket
+// even when samples exceed the top bound.
+func TestPrometheusHistogramInfBucket(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat_cycles", []uint64{10, 100})
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(500)  // beyond the top bound: only countable via +Inf
+	h.Observe(5000) // ditto
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, reg); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`daelite_lat_cycles_bucket{le="10"} 1`,
+		`daelite_lat_cycles_bucket{le="100"} 2`,
+		`daelite_lat_cycles_bucket{le="+Inf"} 4`,
+		`daelite_lat_cycles_count 4`,
+		`daelite_lat_cycles_sum 5555`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("histogram export missing %q in:\n%s", want, out)
+		}
+	}
+	// +Inf must come from the count, not the last finite bucket: an
+	// exporter that dropped the overflow samples would emit 2 here.
+	if strings.Contains(out, `le="+Inf"} 2`) {
+		t.Error("+Inf bucket lost the overflow samples")
+	}
+}
+
+// TestNDJSONSpanRegionsRoundTrip: a span's Regions field (added with
+// the hierarchical config regions) must survive the NDJSON export, and
+// stay omitted when unknown so old consumers see unchanged records.
+func TestNDJSONSpanRegionsRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.EmitSpan(Span{Op: "setup", ID: 7, SubmitCycle: 10, SettleCycle: 130, Words: 61, Regions: 3, Detail: "NI00>NI55"})
+	reg.EmitSpan(Span{Op: "teardown", ID: 7, SubmitCycle: 200, SettleCycle: 260, Words: 30})
+
+	var b strings.Builder
+	if err := WriteNDJSON(&b, reg, 300); err != nil {
+		t.Fatal(err)
+	}
+	var spans []Span
+	for _, line := range strings.Split(strings.TrimSpace(b.String()), "\n") {
+		var rec struct {
+			Record string `json:"record"`
+			Span
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+		if rec.Record == "span" {
+			spans = append(spans, rec.Span)
+			if rec.Span.Regions == 0 && strings.Contains(line, `"regions"`) {
+				t.Errorf("zero Regions not omitted: %s", line)
+			}
+		}
+	}
+	if len(spans) != 2 {
+		t.Fatalf("round-tripped %d spans, want 2", len(spans))
+	}
+	got, want := spans[0], Span{Op: "setup", ID: 7, SubmitCycle: 10, SettleCycle: 130, Words: 61, Regions: 3, Detail: "NI00>NI55"}
+	if got != want {
+		t.Errorf("span round trip:\n got %+v\nwant %+v", got, want)
+	}
+	if spans[1].Regions != 0 {
+		t.Errorf("regionless span gained Regions=%d", spans[1].Regions)
+	}
+	if got.Cycles() != 120 {
+		t.Errorf("round-tripped span spans %d cycles, want 120", got.Cycles())
+	}
+}

@@ -1,0 +1,67 @@
+package tracing
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+)
+
+// NDJSON record forms. Each line is one JSON object whose "record"
+// field discriminates: "trace_meta" (counts, drops) first, then every
+// finished span ("span", ring order), then in-flight spans
+// ("open_span"), then events ("trace_event"). The field order is fixed
+// by the struct definitions, so the output is byte-identical across
+// runs of the same workload.
+
+type ndjsonMeta struct {
+	Record        string `json:"record"`
+	Spans         int    `json:"spans"`
+	OpenSpans     int    `json:"open_spans"`
+	Events        int    `json:"events"`
+	DroppedSpans  uint64 `json:"dropped_spans,omitempty"`
+	DroppedEvents uint64 `json:"dropped_events,omitempty"`
+}
+
+type ndjsonSpan struct {
+	Record string `json:"record"`
+	Span
+}
+
+type ndjsonEvent struct {
+	Record string `json:"record"`
+	Event
+}
+
+// WriteNDJSON streams the tracer's rings as NDJSON — the flight
+// recorder's grep-able dump form, alongside the Chrome JSON the viewers
+// load.
+func WriteNDJSON(w io.Writer, t *Tracer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	spans := t.Spans()
+	open := t.OpenSpans()
+	events := t.Events()
+	ds, de := t.Dropped()
+	if err := enc.Encode(ndjsonMeta{
+		Record: "trace_meta", Spans: len(spans), OpenSpans: len(open),
+		Events: len(events), DroppedSpans: ds, DroppedEvents: de,
+	}); err != nil {
+		return err
+	}
+	for _, s := range spans {
+		if err := enc.Encode(ndjsonSpan{Record: "span", Span: s}); err != nil {
+			return err
+		}
+	}
+	for _, s := range open {
+		if err := enc.Encode(ndjsonSpan{Record: "open_span", Span: s}); err != nil {
+			return err
+		}
+	}
+	for _, e := range events {
+		if err := enc.Encode(ndjsonEvent{Record: "trace_event", Event: e}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,92 @@
+package tracing
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+)
+
+// Recorder is the flight recorder over a tracer: on a trigger — a
+// conformance violation, a health-monitor stall, SIGQUIT — it dumps the
+// tracer's recent history (bounded rings) as a pair of post-mortem
+// artifacts: <prefix>-<reason>.ndjson and <prefix>-<reason>.trace.json.
+// Each distinct reason dumps at most once per process, so a hard
+// failure that fires a checker every sample cannot flood the disk; the
+// first occurrence is the one with the evidence anyway.
+type Recorder struct {
+	t      *Tracer
+	prefix string
+
+	mu     sync.Mutex
+	dumped map[string]bool
+}
+
+// NewRecorder arms a recorder over t writing dumps with the given path
+// prefix (directories must exist).
+func NewRecorder(t *Tracer, prefix string) *Recorder {
+	return &Recorder{t: t, prefix: prefix, dumped: make(map[string]bool)}
+}
+
+// Tracer returns the recorded tracer.
+func (r *Recorder) Tracer() *Tracer {
+	if r == nil {
+		return nil
+	}
+	return r.t
+}
+
+// Dump writes the NDJSON and Chrome trace dumps for reason, unless that
+// reason already dumped. It returns the written paths (nil when
+// suppressed as a duplicate). Nil-safe.
+func (r *Recorder) Dump(reason string) ([]string, error) {
+	if r == nil {
+		return nil, nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	reason = sanitizeReason(reason)
+	if r.dumped[reason] {
+		return nil, nil
+	}
+	r.dumped[reason] = true
+	nd := fmt.Sprintf("%s-%s.ndjson", r.prefix, reason)
+	tr := fmt.Sprintf("%s-%s.trace.json", r.prefix, reason)
+	if err := writeFileWith(nd, func(f *os.File) error { return WriteNDJSON(f, r.t) }); err != nil {
+		return nil, err
+	}
+	if err := writeFileWith(tr, func(f *os.File) error { return WriteChrome(f, r.t) }); err != nil {
+		return []string{nd}, err
+	}
+	return []string{nd, tr}, nil
+}
+
+func writeFileWith(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = write(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// sanitizeReason maps a free-form trigger description onto a safe file
+// name fragment.
+func sanitizeReason(reason string) string {
+	if reason == "" {
+		return "dump"
+	}
+	var b strings.Builder
+	for _, c := range reason {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_':
+			b.WriteRune(c)
+		default:
+			b.WriteRune('_')
+		}
+	}
+	return b.String()
+}

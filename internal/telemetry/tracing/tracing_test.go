@@ -1,0 +1,203 @@
+package tracing
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSpanLifecycle(t *testing.T) {
+	tr := New(Options{})
+	root := tr.StartRoot("setup #0", "setup", 10)
+	if !root.Valid() {
+		t.Fatal("root ref invalid")
+	}
+	child := tr.StartChild(root, "inject r0", "inject", 10)
+	tr.SetAttr(root, "detail", "NI00>NI22")
+	tr.End(child, 42)
+	tr.End(root, 50)
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	// End order: child first.
+	if spans[0].Name != "inject r0" || spans[0].Parent != root.SpanID() {
+		t.Fatalf("child span wrong: %+v", spans[0])
+	}
+	if spans[0].Trace != root.TraceID() {
+		t.Fatalf("child trace %d != root trace %d", spans[0].Trace, root.TraceID())
+	}
+	if spans[1].Cycles() != 40 {
+		t.Fatalf("root cycles = %d, want 40", spans[1].Cycles())
+	}
+	if len(spans[1].Attrs) != 1 || spans[1].Attrs[0].Value != "NI00>NI22" {
+		t.Fatalf("attrs lost: %+v", spans[1].Attrs)
+	}
+}
+
+func TestChildOfInvalidParentStartsNewTrace(t *testing.T) {
+	tr := New(Options{})
+	a := tr.StartChild(SpanRef{}, "solo", "setup", 1)
+	b := tr.StartRoot("other", "setup", 1)
+	if a.TraceID() == 0 || a.TraceID() == b.TraceID() {
+		t.Fatalf("invalid-parent child must open a fresh trace: a=%d b=%d", a.TraceID(), b.TraceID())
+	}
+}
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	ref := tr.StartRoot("x", "y", 0)
+	tr.SetAttr(ref, "k", "v")
+	tr.End(ref, 1)
+	tr.Point(ref, "e", "c", "", 2)
+	if tr.Spans() != nil || tr.Events() != nil || tr.OpenSpans() != nil {
+		t.Fatal("nil tracer must return empty views")
+	}
+	if s, e := tr.Dropped(); s != 0 || e != 0 {
+		t.Fatal("nil tracer dropped counts")
+	}
+}
+
+func TestRingBounds(t *testing.T) {
+	tr := New(Options{MaxSpans: 4, MaxEvents: 3})
+	for i := 0; i < 10; i++ {
+		ref := tr.StartRoot("s", "c", uint64(i))
+		tr.End(ref, uint64(i+1))
+		tr.Point(SpanRef{}, "e", "c", "", uint64(i))
+	}
+	if got := len(tr.Spans()); got != 4 {
+		t.Fatalf("span ring %d, want 4", got)
+	}
+	if got := len(tr.Events()); got != 3 {
+		t.Fatalf("event ring %d, want 3", got)
+	}
+	ds, de := tr.Dropped()
+	if ds != 6 || de != 7 {
+		t.Fatalf("dropped %d/%d, want 6/7", ds, de)
+	}
+	// Oldest dropped: the surviving spans are the newest four.
+	if tr.Spans()[0].Start != 6 {
+		t.Fatalf("ring kept wrong tail: first start %d", tr.Spans()[0].Start)
+	}
+}
+
+func TestEndUnknownRefIsNoop(t *testing.T) {
+	tr := New(Options{})
+	ref := tr.StartRoot("s", "c", 0)
+	tr.End(ref, 5)
+	tr.End(ref, 9) // double end: ignored
+	if len(tr.Spans()) != 1 || tr.Spans()[0].End != 5 {
+		t.Fatalf("double End corrupted ring: %+v", tr.Spans())
+	}
+}
+
+func TestWriteChromeParsesAndIsStable(t *testing.T) {
+	build := func() *Tracer {
+		tr := New(Options{})
+		root := tr.StartRoot(`setup "quoted" #1`, "setup", 100)
+		r0 := tr.StartChild(root, "inject r0", "inject", 100)
+		r1 := tr.StartChild(root, "inject r1", "inject", 100)
+		tr.SetAttr(root, "detail", "a>b\nnewline")
+		tr.End(r0, 120)
+		tr.End(r1, 130)
+		settle := tr.StartChild(root, "settle", "settle", 130)
+		tr.End(settle, 140)
+		tr.End(root, 140)
+		tr.StartChild(root, "never-finished", "inject", 141)
+		tr.Point(root, "fault", "fault", "link 3 down", 135)
+		return tr
+	}
+	var a, b bytes.Buffer
+	if err := WriteChrome(&a, build()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChrome(&b, build()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("Chrome export not reproducible")
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(a.Bytes(), &doc); err != nil {
+		t.Fatalf("Chrome export is not valid JSON: %v\n%s", err, a.String())
+	}
+	// 4 finished spans + 1 open span + 1 instant event.
+	if len(doc.TraceEvents) != 6 {
+		t.Fatalf("got %d trace events, want 6", len(doc.TraceEvents))
+	}
+	if !strings.Contains(a.String(), `"dur":40`) {
+		t.Fatalf("root duration missing:\n%s", a.String())
+	}
+}
+
+func TestWriteNDJSONRoundTrip(t *testing.T) {
+	tr := New(Options{})
+	root := tr.StartRoot("setup #7", "setup", 10)
+	tr.SetAttr(root, "regions", "3")
+	tr.End(root, 60)
+	tr.Point(SpanRef{}, "stall", "health", "conn 7", 55)
+	var buf bytes.Buffer
+	if err := WriteNDJSON(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3 (meta, span, event):\n%s", len(lines), buf.String())
+	}
+	var meta ndjsonMeta
+	if err := json.Unmarshal([]byte(lines[0]), &meta); err != nil || meta.Record != "trace_meta" {
+		t.Fatalf("bad meta line %q: %v", lines[0], err)
+	}
+	var sp ndjsonSpan
+	if err := json.Unmarshal([]byte(lines[1]), &sp); err != nil {
+		t.Fatal(err)
+	}
+	if sp.Record != "span" || sp.Name != "setup #7" || sp.Cycles() != 50 ||
+		len(sp.Attrs) != 1 || sp.Attrs[0].Key != "regions" {
+		t.Fatalf("span round-trip lost data: %+v", sp)
+	}
+	var ev ndjsonEvent
+	if err := json.Unmarshal([]byte(lines[2]), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Record != "trace_event" || ev.Detail != "conn 7" {
+		t.Fatalf("event round-trip lost data: %+v", ev)
+	}
+}
+
+func TestRecorderDumpOncePerReason(t *testing.T) {
+	dir := t.TempDir()
+	tr := New(Options{})
+	ref := tr.StartRoot("setup #1", "setup", 1)
+	tr.End(ref, 9)
+	rec := NewRecorder(tr, filepath.Join(dir, "flight"))
+	paths, err := rec.Dump("conformance: table")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("want 2 dump files, got %v", paths)
+	}
+	for _, p := range paths {
+		if _, err := os.Stat(p); err != nil {
+			t.Fatalf("dump file missing: %v", err)
+		}
+	}
+	again, err := rec.Dump("conformance: table")
+	if err != nil || again != nil {
+		t.Fatalf("duplicate reason must be suppressed: %v %v", again, err)
+	}
+	other, err := rec.Dump("stall")
+	if err != nil || len(other) != 2 {
+		t.Fatalf("distinct reason must dump: %v %v", other, err)
+	}
+	var nilRec *Recorder
+	if p, err := nilRec.Dump("x"); p != nil || err != nil {
+		t.Fatal("nil recorder must be inert")
+	}
+}

@@ -8,12 +8,14 @@ package daelite
 // conformance checkers attached throughout and zero violations.
 
 import (
+	"fmt"
 	"testing"
 
 	"daelite/internal/conformance"
 	"daelite/internal/core"
 	"daelite/internal/fault"
 	"daelite/internal/telemetry"
+	"daelite/internal/telemetry/tracing"
 	"daelite/internal/topology"
 	"daelite/internal/traffic"
 )
@@ -34,6 +36,8 @@ func TestScale16x16(t *testing.T) {
 
 	reg := telemetry.NewRegistry()
 	ck := conformance.Attach(p, reg, conformance.Options{SampleEvery: 64})
+	tr := tracing.New(tracing.Options{})
+	p.AttachTracer(tr)
 
 	noViolations := func(stage string) {
 		t.Helper()
@@ -70,6 +74,54 @@ func TestScale16x16(t *testing.T) {
 	for _, c := range conns[:len(conns)-1] {
 		if c.Setup.Regions < 2 {
 			t.Fatalf("conn %d (%s) set up through %d region(s), want >= 2", c.ID, c.Setup.Detail, c.Setup.Regions)
+		}
+	}
+
+	// The causal trace of every regioned set-up must be one root span
+	// fanning out into per-region inject children plus a settle child,
+	// and its cycle count must reconcile exactly with the telemetry
+	// span's SetupCycles — the tracer and the span ledger are two views
+	// of one transaction.
+	spans := tr.Spans()
+	children := map[uint64][]tracing.Span{}
+	rootByName := map[string]tracing.Span{}
+	for _, s := range spans {
+		if s.Parent != 0 {
+			children[s.Parent] = append(children[s.Parent], s)
+		} else {
+			rootByName[s.Name] = s
+		}
+	}
+	for _, c := range conns {
+		name := fmt.Sprintf("setup #%d", c.Setup.ID)
+		root, ok := rootByName[name]
+		if !ok {
+			t.Fatalf("no trace root %q for connection %d", name, c.ID)
+		}
+		if got, want := root.Cycles(), c.SetupCycles(); got != want {
+			t.Fatalf("conn %d: trace root spans %d cycles, telemetry span %d", c.ID, got, want)
+		}
+		var injects int
+		var settleEnd uint64
+		for _, ch := range children[root.ID] {
+			switch ch.Cat {
+			case "inject":
+				injects++
+				if ch.Start != root.Start {
+					t.Fatalf("conn %d: inject child starts at %d, root at %d", c.ID, ch.Start, root.Start)
+				}
+				if ch.End > root.End {
+					t.Fatalf("conn %d: inject child ends at %d after root %d", c.ID, ch.End, root.End)
+				}
+			case "settle":
+				settleEnd = ch.End
+			}
+		}
+		if injects != c.Setup.Regions {
+			t.Fatalf("conn %d: %d inject children, telemetry says %d regions", c.ID, injects, c.Setup.Regions)
+		}
+		if settleEnd != root.End {
+			t.Fatalf("conn %d: settle child ends at %d, root at %d", c.ID, settleEnd, root.End)
 		}
 	}
 	ck.Resync()

@@ -18,6 +18,7 @@ import (
 	"daelite/internal/spec"
 	"daelite/internal/stats"
 	"daelite/internal/telemetry"
+	"daelite/internal/telemetry/tracing"
 	"daelite/internal/topology"
 	"daelite/internal/trace"
 	"daelite/internal/traffic"
@@ -164,6 +165,47 @@ func WritePrometheus(w io.Writer, r *TelemetryRegistry) error {
 func WriteTelemetryNDJSON(w io.Writer, r *TelemetryRegistry, cycle uint64) error {
 	return telemetry.WriteNDJSON(w, r, cycle)
 }
+
+// Tracer is the deterministic cycle-domain causal tracer: every
+// configuration transaction (and, behind the admission service, every
+// request) becomes a tree of spans timestamped in simulation cycles.
+// Attach one with Platform.AttachTracer before opening connections;
+// a platform without a tracer pays zero cost.
+type Tracer = tracing.Tracer
+
+// TracerOptions bound the tracer's span/event rings.
+type TracerOptions = tracing.Options
+
+// TraceSpan is one finished span of a causal trace.
+type TraceSpan = tracing.Span
+
+// TraceSpanRef names a live span (parent for StartChild, target for
+// SetAttr/End/Point). The zero value is "no span".
+type TraceSpanRef = tracing.SpanRef
+
+// FlightRecorder dumps the tracer's recent spans and events to files
+// when something goes wrong (conformance violation, stall, SIGQUIT).
+type FlightRecorder = tracing.Recorder
+
+// NewTracer creates a causal tracer.
+func NewTracer(opt TracerOptions) *Tracer { return tracing.New(opt) }
+
+// NewFlightRecorder arms a flight recorder over the tracer; dumps write
+// to <prefix>-<reason>.ndjson and <prefix>-<reason>.trace.json.
+func NewFlightRecorder(t *Tracer, prefix string) *FlightRecorder {
+	return tracing.NewRecorder(t, prefix)
+}
+
+// WriteChromeTrace renders the trace as Chrome trace-event JSON —
+// loadable in Perfetto / chrome://tracing, byte-identical across kernel
+// worker counts.
+func WriteChromeTrace(w io.Writer, t *Tracer) error { return tracing.WriteChrome(w, t) }
+
+// WriteTraceNDJSON writes the trace as newline-delimited JSON records.
+func WriteTraceNDJSON(w io.Writer, t *Tracer) error { return tracing.WriteNDJSON(w, t) }
+
+// SpansByTrace groups finished spans by their trace ID.
+func SpansByTrace(spans []TraceSpan) map[uint64][]TraceSpan { return tracing.ByTrace(spans) }
 
 // LinkMonitor samples per-link utilization.
 type LinkMonitor = stats.Monitor
