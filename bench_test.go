@@ -202,6 +202,41 @@ func BenchmarkPlatformCycleTelemetry(b *testing.B) { benchPlatformCycle(b, true,
 // stepping must stay inside the same <= 5% cost contract as telemetry.
 func BenchmarkPlatformCycleTracing(b *testing.B) { benchPlatformCycle(b, false, true) }
 
+// BenchmarkPlatformCycleFastForward measures the fast-forward
+// machinery's floor: the same loaded 4x4 platform as
+// BenchmarkPlatformCycle, drained and settled with fast-forwarding
+// armed. One op runs a whole hyper-period, which the kernel skips in
+// closed form — the cost is the quiescence re-scan plus the skip
+// arithmetic and catch-up hooks, not per-component evaluation. The gap
+// to BenchmarkPlatformCycle (times the hyper-period length) is the
+// cycles/sec win on settled platforms; daelite-benchdiff gates it
+// against regression like the rest of the PlatformCycle trio.
+func BenchmarkPlatformCycleFastForward(b *testing.B) {
+	params := core.DefaultParams()
+	params.FastForward = true
+	p, err := core.NewMeshPlatform(topology.MeshSpec{Width: 4, Height: 4, NIsPerRouter: 1}, params, 0, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := p.Open(core.ConnectionSpec{Src: p.Mesh.NI(0, 1, 0), Dst: p.Mesh.NI(3, 3, 0), SlotsFwd: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := p.AwaitOpen(c, 100000); err != nil {
+		b.Fatal(err)
+	}
+	period := uint64(p.Params.Wheel * p.Params.SlotWords)
+	p.Run(20 * period) // through the settle window; skipping engages
+	if p.Sim.SkippedCycles() == 0 {
+		b.Fatal("fast-forward never engaged on the drained platform")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Run(period)
+	}
+	b.ReportMetric(float64(period)*float64(b.N)/b.Elapsed().Seconds(), "cycles/sec")
+}
+
 // benchBigMesh measures raw kernel throughput (one simulated cycle per
 // op) on the full 16x16 torus platform — 512 elements set up through six
 // hierarchical config regions, the size the parallel kernel targets. The

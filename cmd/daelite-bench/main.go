@@ -35,17 +35,19 @@ import (
 
 func main() {
 	var which, outPath, cpuProfile, memProfile string
-	var listOnly, jsonOut bool
+	var listOnly, jsonOut, fastforward bool
 	var workers int
-	flag.StringVar(&which, "experiment", "", "run only the experiment with this ID (E1..E21, A1..A9) or artifact substring")
+	flag.StringVar(&which, "experiment", "", "run only the experiment with this ID (E1..E22, A1..A9) or artifact substring")
 	flag.BoolVar(&listOnly, "list", false, "list experiments without running them")
 	flag.StringVar(&outPath, "o", "", "also write the output to this file (with -json: the snapshot path)")
 	flag.BoolVar(&jsonOut, "json", false, "emit a BENCH_<rev>.json machine-readable snapshot instead of tables")
 	flag.IntVar(&workers, "workers", 0, "simulation kernel workers for experiment platforms (0 = one per CPU, 1 = sequential)")
+	flag.BoolVar(&fastforward, "fastforward", false, "arm fast-forwarding on experiment platforms (tables stay bit-identical; only wall clock changes)")
 	flag.StringVar(&cpuProfile, "cpuprofile", "", "write a CPU profile of the run to this file")
 	flag.StringVar(&memProfile, "memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
 	experiments.SetWorkers(workers)
+	experiments.SetFastForward(fastforward)
 
 	if listOnly {
 		list()
@@ -127,6 +129,15 @@ func main() {
 		printResult(out, r)
 		return
 	}
+	if which != "" && wantsFastForward(which) {
+		r, err := experiments.FastForwardThroughput()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		printResult(out, r)
+		return
+	}
 
 	results, err := experiments.All()
 	if err != nil {
@@ -154,6 +165,11 @@ func wantsAdmission(which string) bool {
 func wantsControlPlane(which string) bool {
 	w := strings.ToLower(which)
 	return strings.EqualFold(which, "E19") || strings.Contains("control-plane admission service", w)
+}
+
+func wantsFastForward(which string) bool {
+	w := strings.ToLower(which)
+	return strings.EqualFold(which, "E22") || strings.Contains("fast-forward throughput", w)
 }
 
 func printResult(out io.Writer, r *experiments.Result) {
@@ -194,6 +210,8 @@ func list() {
 	fmt.Println("E18  conformance: sim-vs-model differential sweep + mutation smoke")
 	fmt.Println("E19  control-plane admission service under multi-tenant load (req/s, fairness, restart replay; not in golden output)")
 	fmt.Println("E20  regioned vs single-tree set-up latency and wire cost")
+	fmt.Println("E21  per-stage set-up latency via causal traces")
+	fmt.Println("E22  fast-forward throughput (cycles/sec + skipped fraction vs workload; not in golden output)")
 	fmt.Println("A1   ablation: TDM wheel size")
 	fmt.Println("A2   ablation: configuration cool-down")
 	fmt.Println("A3   ablation: host placement / tree depth")
@@ -307,6 +325,37 @@ func platformCycleOp(withTelemetry, withTracing bool) (func(), error) {
 	}, nil
 }
 
+// perCycle wraps a measured ns/op in an entry that also carries the
+// simulated cycles/sec it implies, so kernel throughput — and the
+// fast-forward win over it — is directly visible in the snapshot.
+func perCycle(ns, cyclesPerOp float64) benchfmt.Entry {
+	return benchfmt.Entry{NsPerOp: ns, Metrics: map[string]float64{"cycles_per_sec": cyclesPerOp * 1e9 / ns}}
+}
+
+// platformCycleFFOp is the fast-forward counterpart of platformCycleOp:
+// the same loaded 4x4 platform, drained and settled with fast-forwarding
+// armed. One op runs a whole hyper-period, which the kernel skips in
+// closed form — the op cost is the quiescence re-scan plus the skip
+// arithmetic, the fast-forward machinery's floor.
+func platformCycleFFOp() (func(), uint64, error) {
+	params := core.DefaultParams()
+	params.FastForward = true
+	p, err := core.NewMeshPlatform(topology.MeshSpec{Width: 4, Height: 4, NIsPerRouter: 1}, params, 0, 0)
+	if err != nil {
+		return nil, 0, err
+	}
+	c, err := p.Open(core.ConnectionSpec{Src: p.Mesh.NI(0, 1, 0), Dst: p.Mesh.NI(3, 3, 0), SlotsFwd: 2})
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := p.AwaitOpen(c, 100000); err != nil {
+		return nil, 0, err
+	}
+	period := uint64(p.Params.Wheel * p.Params.SlotWords)
+	p.Run(20 * period) // through the settle window; skipping engages
+	return func() { p.Run(period) }, period, nil
+}
+
 func writeJSON(outPath string) error {
 	f := &benchfmt.File{
 		Rev:                gitRev(),
@@ -329,7 +378,7 @@ func writeJSON(outPath string) error {
 		{"BenchmarkKernelStep4096Par", ncpu, 4096},
 	} {
 		s := newChain(mb.workers, mb.n)
-		f.Benchmarks[mb.name] = benchfmt.Entry{NsPerOp: measure(func() { s.Step() })}
+		f.Benchmarks[mb.name] = perCycle(measure(func() { s.Step() }), 1)
 		s.Shutdown()
 	}
 	for _, pb := range []struct {
@@ -345,8 +394,13 @@ func writeJSON(outPath string) error {
 		if err != nil {
 			return err
 		}
-		f.Benchmarks[pb.name] = benchfmt.Entry{NsPerOp: measure(op)}
+		f.Benchmarks[pb.name] = perCycle(measure(op), 1)
 	}
+	ffOp, ffPeriod, err := platformCycleFFOp()
+	if err != nil {
+		return err
+	}
+	f.Benchmarks["BenchmarkPlatformCycleFastForward"] = perCycle(measure(ffOp), float64(ffPeriod))
 	for _, mb := range []struct {
 		name    string
 		workers int
@@ -358,7 +412,7 @@ func writeJSON(outPath string) error {
 		if err != nil {
 			return err
 		}
-		f.Benchmarks[mb.name] = benchfmt.Entry{NsPerOp: measure(func() { bm.Run(1) })}
+		f.Benchmarks[mb.name] = perCycle(measure(func() { bm.Run(1) }), 1)
 		bm.Sim.Shutdown()
 	}
 
@@ -429,6 +483,15 @@ func writeJSON(outPath string) error {
 	f.Benchmarks[e19.ID] = benchfmt.Entry{
 		NsPerOp: float64(time.Since(e19Start).Nanoseconds()),
 		Metrics: e19.Metrics,
+	}
+	e22Start := time.Now()
+	e22, err := experiments.FastForwardThroughput()
+	if err != nil {
+		return err
+	}
+	f.Benchmarks[e22.ID] = benchfmt.Entry{
+		NsPerOp: float64(time.Since(e22Start).Nanoseconds()),
+		Metrics: e22.Metrics,
 	}
 
 	if outPath == "" {

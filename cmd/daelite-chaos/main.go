@@ -24,7 +24,7 @@ import (
 
 func main() {
 	var conns, kill, cycles int
-	var seed, timeout uint64
+	var seed, timeout, limit uint64
 	var expectFP string
 	pf := cli.RegisterPlatformFlags(flag.CommandLine)
 	flag.StringVar(&expectFP, "expect-fingerprint", "", "fail (exit non-zero) unless the run's determinism fingerprint equals this hex value")
@@ -33,6 +33,7 @@ func main() {
 	flag.IntVar(&cycles, "cycles", 40000, "cycles to soak after set-up")
 	flag.Uint64Var(&seed, "seed", 1, "seed for connection placement and fault sites")
 	flag.Uint64Var(&timeout, "stall-timeout", 256, "health monitor no-progress window (cycles)")
+	flag.Uint64Var(&limit, "limit", 0, "words each source sends (0 = unlimited); bounded sources drain and let -fastforward engage")
 	flag.Parse()
 
 	p, err := pf.BuildMesh()
@@ -73,7 +74,7 @@ func main() {
 			fatal("configure: %v", err)
 		}
 		src := traffic.NewSource(p.Sim, fmt.Sprintf("src%d", c.ID), p.NI(s), c.SrcChannel,
-			traffic.SourceConfig{Pattern: traffic.CBR, Rate: 0.02 + 0.02*float64(rng.Intn(3)), Seed: rng.Uint64()})
+			traffic.SourceConfig{Pattern: traffic.CBR, Rate: 0.02 + 0.02*float64(rng.Intn(3)), Limit: limit, Seed: rng.Uint64()})
 		sink := traffic.NewSink(p.Sim, fmt.Sprintf("sink%d", c.ID), p.NI(d), c.DstChannel)
 		streams = append(streams, stream{conn: c, src: src, sink: sink})
 	}
@@ -150,6 +151,9 @@ func main() {
 
 	if stopped, reason := p.Sim.Stopped(); stopped {
 		fmt.Printf("run stopped early at cycle %d: %s\n", p.Cycle(), reason)
+	}
+	if skipped := p.Sim.SkippedCycles(); skipped > 0 {
+		fmt.Printf("fast-forwarded %d of %d cycles\n", skipped, p.Cycle())
 	}
 
 	t := report.NewTable(fmt.Sprintf("daelite-chaos — %d cycles, %d streams, %d faults, seed %d",

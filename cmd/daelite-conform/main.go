@@ -23,23 +23,34 @@ import (
 func main() {
 	var scenarios int
 	var seed, mutSeed uint64
-	var mutate, verbose bool
+	var mutate, verbose, fastforward bool
 	flag.IntVar(&scenarios, "scenarios", 25, "seeded scenarios in the differential sweep")
 	flag.Uint64Var(&seed, "seed", 1, "base seed; scenario i uses seed+i")
 	flag.BoolVar(&mutate, "mutate", true, "run the mutation smoke drill after the sweep")
 	flag.Uint64Var(&mutSeed, "mutation-seed", 3, "seed for the mutation smoke drill")
 	flag.BoolVar(&verbose, "v", false, "print every scenario, not just failures")
+	flag.BoolVar(&fastforward, "fastforward", false, "sweep with fast-forwarding armed, checked against a cycle-accurate reference run per scenario")
 	flag.Parse()
 
 	failed := false
 	workers := []int{1, 2, runtime.NumCPU()}
 	if scenarios > 0 {
-		entries, err := conformance.Sweep(seed, scenarios, workers)
+		var entries []*conformance.SweepEntry
+		var err error
+		if fastforward {
+			entries, err = conformance.SweepFastForward(seed, scenarios, workers)
+		} else {
+			entries, err = conformance.Sweep(seed, scenarios, workers)
+		}
 		if err != nil {
 			fatal("sweep: %v", err)
 		}
 		passed := 0
+		var skipped uint64
 		for _, e := range entries {
+			for _, r := range e.Results {
+				skipped += r.Skipped
+			}
 			if e.Passed() {
 				passed++
 				if verbose {
@@ -62,8 +73,14 @@ func main() {
 		}
 		fmt.Printf("sweep: %d/%d scenarios passed, bit-exact across workers %v\n",
 			passed, len(entries), workers)
+		if fastforward {
+			fmt.Printf("fast-forward: %d cycles skipped across all runs, bit-exact vs accurate reference\n", skipped)
+		}
 	}
 
+	// The mutation drill always runs cycle-accurately: its checkers
+	// sample structural state, and a skip could step over a planted
+	// corruption's observable window.
 	if mutate {
 		res, err := conformance.MutationSmoke(mutSeed, 1)
 		if err != nil {

@@ -43,11 +43,12 @@ import (
 func main() {
 	var vcdPath, specPath, failLink, expectFP string
 	var cycles int
-	var failAt, faultSeed, stallTimeout uint64
+	var failAt, faultSeed, stallTimeout, limit uint64
 	var conform bool
 	pf := cli.RegisterPlatformFlags(flag.CommandLine)
 	flag.BoolVar(&conform, "conformance", false, "attach the online conformance checkers for the whole run and exit non-zero on any violation")
 	flag.IntVar(&cycles, "cycles", 50000, "cycles to simulate after set-up")
+	flag.Uint64Var(&limit, "limit", 0, "words each source sends (0 = unlimited); bounded sources drain and let -fastforward engage")
 	flag.StringVar(&expectFP, "expect-fingerprint", "", "fail (exit non-zero) unless the run's determinism fingerprint equals this hex value")
 	flag.StringVar(&vcdPath, "vcd", "", "write a VCD waveform of every NI link to this file")
 	flag.StringVar(&specPath, "spec", "", "build the platform from this JSON spec instead of flags")
@@ -79,6 +80,9 @@ func main() {
 			fatal("%v", err)
 		}
 		p = inst.Platform
+		if pf.FastForward {
+			p.EnableFastForward()
+		}
 		for i, c := range inst.Connections {
 			name := sp.Connections[i].Name
 			if name == "" {
@@ -128,6 +132,12 @@ func main() {
 	mon := stats.NewMonitor(p)
 	var rec *trace.Recorder
 	if vcdPath != "" {
+		if pf.FastForward {
+			// The waveform recorder samples through a probe every cycle;
+			// skipped cycles would leave holes in the trace.
+			fmt.Fprintln(os.Stderr, "daelite-sim: -vcd disables -fastforward (waveforms need every cycle)")
+			p.Sim.DisableFastForward()
+		}
 		rec = trace.New(p.Sim)
 		for _, id := range p.Mesh.AllNIs {
 			name := p.Mesh.Node(id).Name
@@ -144,7 +154,7 @@ func main() {
 	var jobs []job
 	for i, c := range prebuilt {
 		src := traffic.NewSource(p.Sim, fmt.Sprintf("src%d", i), p.NI(c.Spec.Src), c.SrcChannel,
-			traffic.SourceConfig{Pattern: traffic.CBR, Rate: prebuiltRates[i], Seed: uint64(i + 1)})
+			traffic.SourceConfig{Pattern: traffic.CBR, Rate: prebuiltRates[i], Limit: limit, Seed: uint64(i + 1)})
 		sink := traffic.NewSink(p.Sim, fmt.Sprintf("sink%d", i), p.NI(c.Spec.Dst), c.DstChannel)
 		jobs = append(jobs, job{arg: prebuiltArgs[i], conn: c, sink: sink, src: src})
 	}
@@ -162,7 +172,7 @@ func main() {
 			fatal("configure %q: %v", arg, err)
 		}
 		src := traffic.NewSource(p.Sim, fmt.Sprintf("src%d", i), p.NI(c.Spec.Src), c.SrcChannel,
-			traffic.SourceConfig{Pattern: traffic.CBR, Rate: rate, Seed: uint64(i + 1)})
+			traffic.SourceConfig{Pattern: traffic.CBR, Rate: rate, Limit: limit, Seed: uint64(i + 1)})
 		sink := traffic.NewSink(p.Sim, fmt.Sprintf("sink%d", i), p.NI(c.Spec.Dst), c.DstChannel)
 		jobs = append(jobs, job{arg: arg, conn: c, sink: sink, src: src})
 	}
@@ -249,6 +259,9 @@ func main() {
 
 	if stopped, reason := p.Sim.Stopped(); stopped {
 		fmt.Printf("run stopped early at cycle %d: %s\n", p.Cycle(), reason)
+	}
+	if skipped := p.Sim.SkippedCycles(); skipped > 0 {
+		fmt.Printf("fast-forwarded %d of %d cycles\n", skipped, p.Cycle())
 	}
 
 	t := report.NewTable(fmt.Sprintf("daelite-sim — %d cycles", cycles),

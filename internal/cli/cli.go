@@ -36,6 +36,10 @@ type PlatformFlags struct {
 	// Workers is the simulation kernel parallelism (0 = one per CPU,
 	// 1 = sequential; results are identical for every value).
 	Workers int
+	// FastForward arms model-guided fast-forwarding: the kernel skips
+	// whole hyper-periods while the platform is provably quiescent.
+	// Results are bit-identical to a cycle-accurate run.
+	FastForward bool
 
 	// MetricsAddr, when non-empty, serves Prometheus text exposition on
 	// http://<addr>/metrics for the duration of the run.
@@ -69,6 +73,7 @@ func RegisterPlatformFlags(fs *flag.FlagSet) *PlatformFlags {
 	fs.StringVar(&f.Mesh, "mesh", "4x4", "mesh dimensions WxH")
 	fs.IntVar(&f.Wheel, "wheel", 16, "TDM slot-table size")
 	fs.IntVar(&f.Workers, "workers", 0, "simulation kernel workers (0 = one per CPU, 1 = sequential; results are identical)")
+	fs.BoolVar(&f.FastForward, "fastforward", false, "skip whole hyper-periods while the platform is quiescent (bit-identical results)")
 	fs.StringVar(&f.MetricsAddr, "metrics-addr", "", "serve Prometheus metrics on this address (host:port) during the run")
 	fs.StringVar(&f.TelemetryOut, "telemetry-out", "", "write an NDJSON telemetry snapshot to this file at the end of the run")
 	fs.IntVar(&f.TelemetrySample, "telemetry-sample", core.DefaultTelemetrySample, "telemetry harvest interval in cycles")
@@ -83,6 +88,7 @@ func (f *PlatformFlags) Params() core.Params {
 	params := core.DefaultParams()
 	params.Wheel = f.Wheel
 	params.Workers = f.Workers
+	params.FastForward = f.FastForward
 	return params
 }
 

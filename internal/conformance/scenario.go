@@ -129,6 +129,10 @@ type Result struct {
 	Opened int
 	// Delivered sums words delivered to all sinks.
 	Delivered uint64
+	// Skipped counts fast-forwarded cycles (0 unless the run used
+	// RunFastForward). Deliberately outside the fingerprint: a
+	// fast-forwarded run must fingerprint identically to an accurate one.
+	Skipped uint64
 	// Failures lists differential-check failures (empty on pass).
 	Failures []string
 }
@@ -146,10 +150,22 @@ type runConn struct {
 // Run executes a scenario on a fresh platform with the given kernel
 // worker count (0 selects GOMAXPROCS) and returns the measured result.
 func Run(sc *Scenario, workers int) (*Result, error) {
+	return run(sc, workers, false)
+}
+
+// RunFastForward executes a scenario with model-guided fast-forwarding
+// armed. The result — fingerprint, verdicts, deliveries — must be
+// bit-identical to Run's; only Skipped differs.
+func RunFastForward(sc *Scenario, workers int) (*Result, error) {
+	return run(sc, workers, true)
+}
+
+func run(sc *Scenario, workers int, ff bool) (*Result, error) {
 	res := &Result{Scenario: sc, Workers: workers}
 	params := core.DefaultParams()
 	params.Wheel = sc.Wheel
 	params.Workers = workers
+	params.FastForward = ff
 	spec := topology.MeshSpec{Width: sc.Width, Height: sc.Height, NIsPerRouter: 1}
 	p, err := core.NewMeshPlatform(spec, params, 0, 0)
 	if err != nil {
@@ -393,5 +409,6 @@ func Run(sc *Scenario, workers int) (*Result, error) {
 	fp = fp.Mix(res.Delivered)
 	fp = fp.Mix(res.Violations)
 	res.Fingerprint = fp.Sum()
+	res.Skipped = p.Sim.SkippedCycles()
 	return res, nil
 }

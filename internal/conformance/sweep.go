@@ -32,6 +32,18 @@ func (e *SweepEntry) Passed() bool {
 // Sweep runs scenarios for seeds baseSeed..baseSeed+count-1, each under
 // every worker count, and checks bit-exactness across the counts.
 func Sweep(baseSeed uint64, count int, workers []int) ([]*SweepEntry, error) {
+	return sweep(baseSeed, count, workers, false)
+}
+
+// SweepFastForward is Sweep with model-guided fast-forwarding armed, plus
+// one extra cycle-accurate reference run per scenario (first in Results):
+// a fast-forwarded run must match the accurate reference bit for bit —
+// same fingerprint, verdicts, deliveries — under every worker count.
+func SweepFastForward(baseSeed uint64, count int, workers []int) ([]*SweepEntry, error) {
+	return sweep(baseSeed, count, workers, true)
+}
+
+func sweep(baseSeed uint64, count int, workers []int, ff bool) ([]*SweepEntry, error) {
 	if len(workers) == 0 {
 		workers = []int{1}
 	}
@@ -39,8 +51,15 @@ func Sweep(baseSeed uint64, count int, workers []int) ([]*SweepEntry, error) {
 	for i := 0; i < count; i++ {
 		sc := Generate(baseSeed + uint64(i))
 		e := &SweepEntry{Scenario: sc}
+		if ff {
+			ref, err := run(sc, workers[0], false)
+			if err != nil {
+				return entries, fmt.Errorf("seed %d reference: %w", sc.Seed, err)
+			}
+			e.Results = append(e.Results, ref)
+		}
 		for _, w := range workers {
-			r, err := Run(sc, w)
+			r, err := run(sc, w, ff)
 			if err != nil {
 				return entries, fmt.Errorf("seed %d workers %d: %w", sc.Seed, w, err)
 			}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"testing"
+
+	"daelite/internal/traffic"
+)
+
+// ffWorkload runs a fixed scripted workload — two connections, bounded
+// sources, a teardown partway through — and returns an FNV digest over
+// every valid flit on every link wire (data and cycle), the delivered
+// word counts, and the number of fast-forwarded cycles. The digest must
+// be bit-identical with fast-forward on and off.
+func ffWorkload(t *testing.T, ff bool, workers int) (digest uint64, skipped uint64) {
+	t.Helper()
+	params := DefaultParams()
+	params.FastForward = ff
+	params.Workers = workers
+	p := newTestPlatform(t, 3, 3, params)
+
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		h ^= v
+		h *= 1099511628211
+	}
+	var wires []*flitWire
+	for _, l := range p.Mesh.Links() {
+		wires = append(wires, p.outputWire(l))
+	}
+	p.Sim.AddProbe(func(cycle uint64) {
+		for _, w := range wires {
+			if f := w.Get(); f.Valid {
+				mix(uint64(f.Data))
+				mix(cycle)
+			}
+		}
+	})
+
+	c1 := openUnicast(t, p, 0, 0, 2, 2, 2)
+	c2 := openUnicast(t, p, 2, 0, 0, 2, 1)
+	traffic.NewSource(p.Sim, "src1", p.NI(c1.Spec.Src), c1.SrcChannel,
+		traffic.SourceConfig{Rate: 0.3, Limit: 50, Seed: 7})
+	traffic.NewSource(p.Sim, "src2", p.NI(c2.Spec.Src), c2.SrcChannel,
+		traffic.SourceConfig{Pattern: traffic.Bursty, Rate: 0.2, Limit: 30, Seed: 11})
+	k1 := traffic.NewSink(p.Sim, "sink1", p.NI(c1.Spec.Dst), c1.DstChannel)
+	k2 := traffic.NewSink(p.Sim, "sink2", p.NI(c2.Spec.Dst), c2.DstChannel)
+
+	// Long settled stretch after the bounded sources drain.
+	p.Run(6000)
+	// Teardown drops back to cycle-accurate execution, then settles again.
+	if err := p.Close(c2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.CompleteConfig(10000); err != nil {
+		t.Fatal(err)
+	}
+	p.Run(4000)
+
+	if k1.Received() != 50 || k2.Received() != 30 {
+		t.Fatalf("ff=%v: received %d/%d, want 50/30", ff, k1.Received(), k2.Received())
+	}
+	mix(k1.Received())
+	mix(k2.Received())
+	mix(p.Cycle())
+	return h, p.Sim.SkippedCycles()
+}
+
+func TestFastForwardMatchesCycleAccurate(t *testing.T) {
+	ref, refSkip := ffWorkload(t, false, 1)
+	if refSkip != 0 {
+		t.Fatalf("cycle-accurate run skipped %d cycles", refSkip)
+	}
+	got, skip := ffWorkload(t, true, 1)
+	if skip == 0 {
+		t.Fatal("fast-forward never engaged on a settled platform")
+	}
+	if got != ref {
+		t.Fatalf("digest mismatch: fast-forward %#x, cycle-accurate %#x (skipped %d)", got, ref, skip)
+	}
+	// Bit-identical across worker counts too.
+	got2, _ := ffWorkload(t, true, 2)
+	if got2 != ref {
+		t.Fatalf("digest mismatch with 2 workers: %#x vs %#x", got2, ref)
+	}
+}

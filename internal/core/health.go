@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"daelite/internal/sim"
 	"daelite/internal/telemetry"
 	"daelite/internal/telemetry/tracing"
 	"daelite/internal/topology"
@@ -64,7 +65,54 @@ func NewHealthMonitor(p *Platform, stallTimeout uint64) *HealthMonitor {
 	}
 	h := &HealthMonitor{p: p, timeout: stallTimeout, state: make(map[int]*connHealth)}
 	p.Sim.AddProbe(h.poll)
+	p.Sim.AddQuiescer(h.Quiescence)
 	return h
+}
+
+// Quiescence is the monitor's fast-forward gate. The polling probe does
+// not run during skipped cycles, so a skip must never jump over a cycle
+// at which a stall would have been declared. With all NI counters
+// frozen (the rest of the platform is quiescent when this is
+// consulted), the earliest possible declaration for a connection is
+// min(lastAdvance)+timeout, and only if the pressure window
+// lastPressure+timeout is still open then; the skip horizon is bounded
+// to keep that poll cycle-accurate.
+func (h *HealthMonitor) Quiescence(now uint64) sim.Quiescence {
+	q := sim.Quiescence{Quiet: true}
+	for id, c := range h.p.connections {
+		if c.State != Open {
+			continue
+		}
+		st := h.state[id]
+		if st == nil {
+			// First poll hasn't captured a baseline yet.
+			return sim.Quiescence{}
+		}
+		if st.stalled {
+			continue // latched; no further declaration for this conn
+		}
+		if now-st.lastPressure >= h.timeout {
+			continue // pressure window expired; frozen counters cannot revive it
+		}
+		minAdv := ^uint64(0)
+		for _, la := range st.lastAdvance {
+			if la < minAdv {
+				minAdv = la
+			}
+		}
+		t0 := minAdv + h.timeout // earliest possible stall declaration
+		if t0 >= st.lastPressure+h.timeout {
+			continue // pressure expires before any destination freezes long enough
+		}
+		// The probe observing cycle t0 runs after the step at t0-1.
+		if t0 <= now+1 {
+			return sim.Quiescence{}
+		}
+		if q.Until == 0 || t0-1 < q.Until {
+			q.Until = t0 - 1
+		}
+	}
+	return q
 }
 
 // StallTimeout returns the configured no-progress window.

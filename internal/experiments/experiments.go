@@ -40,11 +40,22 @@ var platformWorkers int
 // changes wall-clock cost.
 func SetWorkers(w int) { platformWorkers = w }
 
+// platformFastForward arms quiescence-driven fast-forward on every
+// platform built by the experiments; see SetFastForward.
+var platformFastForward bool
+
+// SetFastForward arms model-guided fast-forwarding for platforms built
+// by the experiments. Every regenerated table is bit-identical with it
+// on or off — the knob only changes wall-clock cost, which is exactly
+// what running the full suite both ways verifies.
+func SetFastForward(ff bool) { platformFastForward = ff }
+
 // daelitePlatform builds a daelite mesh with the host at (0, 0).
 func daelitePlatform(w, h, wheel int) (*core.Platform, error) {
 	params := core.DefaultParams()
 	params.Wheel = wheel
 	params.Workers = platformWorkers
+	params.FastForward = platformFastForward
 	return core.NewMeshPlatform(topology.MeshSpec{Width: w, Height: h, NIsPerRouter: 1}, params, 0, 0)
 }
 

@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestExperimentsFastForwardBitIdentical regenerates the experiments
+// whose workloads exercise the fast-forward entry/exit machinery
+// hardest — E15 (chaos repair), E18 (conformance differential sweep)
+// and E21 (per-stage set-up traces) — with fast-forwarding off and on.
+// The rendered tables and every headline metric must be byte-identical:
+// fast-forward is a wall-clock optimization, never an observable one.
+func TestExperimentsFastForwardBitIdentical(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func() (*Result, error)
+	}{
+		{"E15", FaultRepair},
+		{"E18", ConformanceSweep},
+		{"E21", TraceBreakdown},
+	}
+	defer SetFastForward(false)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			SetFastForward(false)
+			ref, err := tc.run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			SetFastForward(true)
+			got, err := tc.run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Text != ref.Text {
+				t.Errorf("%s text diverged under fast-forward:\n--- accurate ---\n%s\n--- fast-forward ---\n%s",
+					tc.name, ref.Text, got.Text)
+			}
+			if !reflect.DeepEqual(got.Metrics, ref.Metrics) {
+				t.Errorf("%s metrics diverged under fast-forward:\naccurate:     %v\nfast-forward: %v",
+					tc.name, ref.Metrics, got.Metrics)
+			}
+		})
+	}
+}

@@ -53,9 +53,22 @@ func fnvMix(h, v uint64) uint64 {
 // opens one guaranteed-bandwidth connection per row through the
 // configuration trees.
 func BuildBigMesh(width, height, wheel, workers int) (*BigMesh, error) {
+	return buildBigMesh(width, height, wheel, workers, 0, false)
+}
+
+// BuildBigMeshFF is BuildBigMesh with bounded sources (limit words per
+// row, 0 = unlimited) and optional fast-forwarding — the E22 harness.
+// Bounded sources drain, so the platform eventually settles and a
+// fast-forwarding kernel can start skipping hyper-periods.
+func BuildBigMeshFF(width, height, wheel, workers int, limit uint64, ff bool) (*BigMesh, error) {
+	return buildBigMesh(width, height, wheel, workers, limit, ff)
+}
+
+func buildBigMesh(width, height, wheel, workers int, limit uint64, ff bool) (*BigMesh, error) {
 	params := core.DefaultParams()
 	params.Wheel = wheel
 	params.Workers = workers
+	params.FastForward = ff
 	p, err := core.NewMeshPlatform(topology.MeshSpec{Width: width, Height: height, NIsPerRouter: 1, Wrap: true}, params, 0, 0)
 	if err != nil {
 		return nil, err
@@ -90,6 +103,7 @@ func BuildBigMesh(width, height, wheel, workers int) (*BigMesh, error) {
 			traffic.SourceConfig{
 				Pattern: traffic.CBR,
 				Rate:    0.2,
+				Limit:   limit,
 				Payload: func(seq uint64) phit.Word { return phit.Word(seq*2654435761 + uint64(y)*977) },
 			})
 		sink := traffic.NewSink(p.Sim, fmt.Sprintf("bigmesh-sink-row%d", y), p.NI(c.Spec.Dst), c.DstChannel)

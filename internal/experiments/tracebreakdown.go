@@ -57,6 +57,7 @@ func TraceBreakdown() (*Result, error) {
 		params := core.DefaultParams()
 		params.Wheel = wheel
 		params.Workers = platformWorkers
+		params.FastForward = platformFastForward
 		params.MaxRegionElements = v.cap
 		p, err := core.NewMeshPlatform(topology.MeshSpec{Width: w, Height: h, NIsPerRouter: 1}, params, 0, 0)
 		if err != nil {

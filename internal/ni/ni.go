@@ -478,6 +478,55 @@ func (n *NI) Commit() {
 	}
 }
 
+// Quiescence implements sim.Quiescer. The NI is quiet when every
+// channel's queues and credit-return machinery are drained — no queued
+// or pending words, no deliveries awaiting credit return, no credit
+// value mid-flight on the sideband — and its wires carry only inert
+// flits, its configuration-tree stages are empty, and its decoder is
+// between transactions. In that state the NI's only output is the
+// hyper-period-periodic zero-credit carrier on its open TX slots, so
+// every counter (injected, delivered, txWords, rxWords, creditStall)
+// is frozen.
+func (n *NI) Quiescence(now uint64) sim.Quiescence {
+	for _, c := range n.channels {
+		if len(c.sendQ) > 0 || len(c.pendSend) > 0 || len(c.recvQ) > 0 ||
+			c.recvCursor != 0 || c.delivered != 0 || c.pendDelivered != 0 ||
+			c.txCreditLatch != 0 || c.rxCreditAccum != 0 {
+			return sim.Quiescence{}
+		}
+	}
+	if len(n.pendingPush) > 0 || len(n.pendingPop) > 0 {
+		return sim.Quiescence{}
+	}
+	if !n.inReg.Get().Inert() || !n.outWire.Get().Inert() {
+		return sim.Quiescence{}
+	}
+	if n.cfgInReg.Get() != (phit.ConfigWord{}) {
+		return sim.Quiescence{}
+	}
+	for _, out := range n.cfgOuts {
+		if out.Get() != (phit.ConfigWord{}) {
+			return sim.Quiescence{}
+		}
+	}
+	if n.respMerge.Get() != (phit.Response{}) || n.respOut.Get() != (phit.Response{}) {
+		return sim.Quiescence{}
+	}
+	if n.dec.Busy() {
+		return sim.Quiescence{}
+	}
+	return sim.Quiescence{Quiet: true}
+}
+
+// OnFastForward implements sim.FastForwarder: resync the submission
+// clock so IP-side Send calls issued after a skip stamp the correct
+// cycle. Eval(cycle) sets curCycle = cycle; after a skip to `to`, the
+// next real Eval will run with cycle = to, so mirror the state Eval
+// would have left at to-1.
+func (n *NI) OnFastForward(from, to uint64) {
+	n.curCycle = to - 1
+}
+
 // niSink adapts the NI to cfgproto.Sink.
 type niSink NI
 

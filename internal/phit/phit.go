@@ -66,6 +66,17 @@ type Tag struct {
 // Idle returns the value of an idle link.
 func Idle() Flit { return Flit{} }
 
+// Inert reports whether the flit changes no architectural state when it
+// arrives at an NI: no payload word, and no credit value (a CreditValid
+// flit carrying zero credits is the steady-state emission of an open but
+// silent connection — receiving it adds nothing to any credit counter).
+// Fast-forward quiescence predicates accept inert flits on wires and in
+// pipeline stages because they are part of the hyper-period-periodic
+// orbit of a settled platform.
+func (f Flit) Inert() bool {
+	return !f.Valid && (!f.CreditValid || f.Credit == 0)
+}
+
 // String renders a flit compactly for traces.
 func (f Flit) String() string {
 	if !f.Valid && !f.CreditValid {

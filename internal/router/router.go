@@ -54,6 +54,12 @@ type Router struct {
 	inWires  []*sim.Reg[phit.Flit]
 	inRegs   []*sim.Reg[phit.Flit] // first buffering stage
 	outWires []*sim.Reg[phit.Flit]
+	// outIdle[o] records that output o already holds the zero flit, so
+	// unreserved slots need no re-drive. Invariant: outIdle[o] implies
+	// outWires[o] carries phit.Idle() — external writers (the fault
+	// injector) only ever overwrite driven (non-idle) wires with idle,
+	// never the reverse.
+	outIdle []bool
 
 	table *slots.RouterTable
 	dec   *cfgproto.Decoder
@@ -94,6 +100,7 @@ func New(s *sim.Simulator, name string, id int, numIn, numOut int, params Params
 		inWires:   make([]*sim.Reg[phit.Flit], numIn),
 		inRegs:    make([]*sim.Reg[phit.Flit], numIn),
 		outWires:  make([]*sim.Reg[phit.Flit], numOut),
+		outIdle:   make([]bool, numOut),
 		outBusy:   make([]uint64, numOut),
 		table:     slots.NewRouterTable(numOut, params.Wheel),
 		cfgInReg:  sim.NewReg(s, phit.ConfigWord{}),
@@ -105,6 +112,7 @@ func New(s *sim.Simulator, name string, id int, numIn, numOut int, params Params
 	}
 	for o := range r.outWires {
 		r.outWires[o] = sim.NewReg(s, phit.Idle())
+		r.outIdle[o] = true
 	}
 	r.dec = cfgproto.NewDecoder(id, params.Wheel, (*routerSink)(r))
 	s.Add(r)
@@ -178,8 +186,19 @@ func (r *Router) Eval(cycle uint64) {
 	// cycle+1 (the output slot).
 	outSlot := slots.SlotOfCycle(cycle+1, r.params.SlotWords, r.params.Wheel)
 	for o := range r.outWires {
+		// Bitset early-out: one occupancy-word test replaces the packed
+		// selector decode for the (common) unreserved slots, and an
+		// already-idle wire needs no re-drive at all.
+		if !r.table.Occupied(o, outSlot) {
+			if !r.outIdle[o] {
+				r.outWires[o].Set(phit.Idle())
+				r.outIdle[o] = true
+			}
+			continue
+		}
+		r.outIdle[o] = false
 		in := r.table.Input(o, outSlot)
-		if in == slots.NoInput || in >= len(r.inRegs) {
+		if in >= len(r.inRegs) {
 			r.outWires[o].Set(phit.Idle())
 			continue
 		}
@@ -214,6 +233,41 @@ func (r *Router) Eval(cycle uint64) {
 
 // Commit implements sim.Component; all state lives in sim.Reg.
 func (r *Router) Commit() {}
+
+// Quiescence implements sim.Quiescer. The router is quiet when its data
+// path carries only inert flits (idle, or the zero-credit carriers of
+// settled open connections — those repeat every hyper-period and touch
+// no counter: forwarded/outBusy move on Valid words only), its
+// configuration-tree stage registers are empty, and its decoder is
+// between transactions. Input wires are owned and accounted for
+// upstream.
+func (r *Router) Quiescence(now uint64) sim.Quiescence {
+	for _, w := range r.outWires {
+		if !w.Get().Inert() {
+			return sim.Quiescence{}
+		}
+	}
+	for _, reg := range r.inRegs {
+		if !reg.Get().Inert() {
+			return sim.Quiescence{}
+		}
+	}
+	if r.cfgInReg.Get() != (phit.ConfigWord{}) {
+		return sim.Quiescence{}
+	}
+	for _, out := range r.cfgOuts {
+		if out.Get() != (phit.ConfigWord{}) {
+			return sim.Quiescence{}
+		}
+	}
+	if r.respMerge.Get() != (phit.Response{}) || r.respOut.Get() != (phit.Response{}) {
+		return sim.Quiescence{}
+	}
+	if r.dec.Busy() {
+		return sim.Quiescence{}
+	}
+	return sim.Quiescence{Quiet: true}
+}
 
 // routerSink adapts the router to cfgproto.Sink.
 type routerSink Router

@@ -99,6 +99,32 @@ type Simulator struct {
 	workers int
 	pool    *workerPool
 
+	// Cached interface views of the parallel set, index-aligned with
+	// components: idlers[i] is non-nil iff components[i] implements
+	// Idler, likewise quiescers[i]. idleSkip[i] records the Idle()
+	// verdict taken at the start of the Eval phase so the Commit phase
+	// skips the exact same set.
+	idlers    []Idler
+	idleSkip  []bool
+	nIdlers   int
+	quiescers []Quiescer
+
+	// Fast-forward state (see fastforward.go). nonQuiescers counts
+	// registered components — parallel and ordered — that do not
+	// implement Quiescer; any such component pins the simulator to
+	// cycle-accurate execution (default-deny).
+	nonQuiescers int
+	gates        []QuiescenceFunc
+	forwarders   []FastForwarder
+	ffHooks      []FastForwardHook
+	ffPeriod     uint64
+	ffSettle     uint64
+	ffLastBusy   uint64
+	ffSkipped    uint64
+	ffQuiet      bool
+	ffHorizon    uint64
+	ffBusy       func(uint64) Quiescence
+
 	stopMu     sync.Mutex
 	stopped    bool
 	stopReason string
@@ -122,6 +148,21 @@ func NewWithOptions(o Options) *Simulator {
 // that the result is independent of evaluation order.
 func (s *Simulator) Add(c Component) {
 	s.components = append(s.components, c)
+	idl, _ := c.(Idler)
+	s.idlers = append(s.idlers, idl)
+	s.idleSkip = append(s.idleSkip, false)
+	if idl != nil {
+		s.nIdlers++
+	}
+	q, _ := c.(Quiescer)
+	s.quiescers = append(s.quiescers, q)
+	if q == nil {
+		s.nonQuiescers++
+	}
+	if f, ok := c.(FastForwarder); ok {
+		s.forwarders = append(s.forwarders, f)
+	}
+	s.ffQuiet = false
 }
 
 // AddOrdered registers a component that depends on evaluation order:
@@ -133,6 +174,13 @@ func (s *Simulator) Add(c Component) {
 // added last held under the sequential kernel.
 func (s *Simulator) AddOrdered(c Component) {
 	s.ordered = append(s.ordered, c)
+	if _, ok := c.(Quiescer); !ok {
+		s.nonQuiescers++
+	}
+	if f, ok := c.(FastForwarder); ok {
+		s.forwarders = append(s.forwarders, f)
+	}
+	s.ffQuiet = false
 }
 
 func (s *Simulator) addReg(r committer) {
@@ -179,31 +227,47 @@ func (s *Simulator) halted() bool {
 // next begins.
 func (s *Simulator) Step() {
 	cycle := s.cycle
-	if s.parallel(len(s.components), minParallelComponents) {
+	// Platforms with no Idler components (the common case for short
+	// links) take the plain loops: no per-component idler lookup, no
+	// idleSkip bookkeeping, no closure escaping into the shard runner.
+	par := s.parallel(len(s.components), minParallelComponents)
+	switch {
+	case s.nIdlers == 0 && par:
 		s.runSharded(len(s.components), componentChunk, func(start, end int) {
 			for _, c := range s.components[start:end] {
 				c.Eval(cycle)
 			}
 		})
-	} else {
+	case s.nIdlers == 0:
 		for _, c := range s.components {
 			c.Eval(cycle)
 		}
+	case par:
+		s.runSharded(len(s.components), componentChunk, func(start, end int) {
+			s.evalIdleAware(cycle, start, end)
+		})
+	default:
+		s.evalIdleAware(cycle, 0, len(s.components))
 	}
 	for _, c := range s.ordered {
 		c.Eval(cycle)
 	}
 
-	if s.parallel(len(s.components), minParallelComponents) {
+	switch {
+	case s.nIdlers == 0 && par:
 		s.runSharded(len(s.components), componentChunk, func(start, end int) {
 			for _, c := range s.components[start:end] {
 				c.Commit()
 			}
 		})
-	} else {
+	case s.nIdlers == 0:
 		for _, c := range s.components {
 			c.Commit()
 		}
+	case par:
+		s.runSharded(len(s.components), componentChunk, s.commitIdleAware)
+	default:
+		s.commitIdleAware(0, len(s.components))
 	}
 	for _, c := range s.ordered {
 		c.Commit()
@@ -226,12 +290,51 @@ func (s *Simulator) Step() {
 	}
 }
 
+// evalIdleAware is the Eval shard body for platforms with Idler
+// components: an idle component's Eval is skipped and the verdict is
+// recorded so commitIdleAware skips the exact same set.
+func (s *Simulator) evalIdleAware(cycle uint64, start, end int) {
+	for i, c := range s.components[start:end] {
+		if idl := s.idlers[start+i]; idl != nil {
+			if idl.Idle() {
+				s.idleSkip[start+i] = true
+				continue
+			}
+			s.idleSkip[start+i] = false
+		}
+		c.Eval(cycle)
+	}
+}
+
+// commitIdleAware mirrors evalIdleAware for the Commit phase. idleSkip
+// entries of non-Idler components are never written and stay false.
+func (s *Simulator) commitIdleAware(start, end int) {
+	for i, c := range s.components[start:end] {
+		if s.idleSkip[start+i] {
+			continue
+		}
+		c.Commit()
+	}
+}
+
 // Run advances the simulation by n cycles or until Stop is called,
 // whichever comes first, and returns the number of cycles executed.
+// Cycles skipped by fast-forward (see EnableFastForward) count as
+// executed. Step and RunUntil never fast-forward; only Run does.
 func (s *Simulator) Run(n uint64) uint64 {
+	// Host-side state may have changed since the last Run (submissions,
+	// set-up requests), so any cached quiescence verdict is stale.
+	s.ffQuiet = false
 	var done uint64
-	for done = 0; done < n && !s.halted(); done++ {
+	for done < n && !s.halted() {
+		if s.ffPeriod > 0 {
+			if skip := s.tryFastForward(n - done); skip > 0 {
+				done += skip
+				continue
+			}
+		}
 		s.Step()
+		done++
 	}
 	return done
 }

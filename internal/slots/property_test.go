@@ -90,3 +90,203 @@ func FuzzRotateMaskCompensation(f *testing.F) {
 		}
 	})
 }
+
+// naiveRouterTable is the unpacked reference model of RouterTable: one
+// int per (output, slot). The packed implementation must answer every
+// lookup, occupancy and rotation question exactly as this one does.
+type naiveRouterTable struct {
+	numOutputs, size int
+	entries          [][]int
+}
+
+func newNaiveRouterTable(numOutputs, size int) *naiveRouterTable {
+	t := &naiveRouterTable{numOutputs: numOutputs, size: size}
+	for o := 0; o < numOutputs; o++ {
+		row := make([]int, size)
+		for s := range row {
+			row[s] = slots.NoInput
+		}
+		t.entries = append(t.entries, row)
+	}
+	return t
+}
+
+func (t *naiveRouterTable) set(out int, mask slots.Mask, in int) {
+	for _, s := range mask.Slots() {
+		t.entries[out][s] = in
+	}
+}
+
+func (t *naiveRouterTable) occupiedMask(out int) slots.Mask {
+	m := slots.NewMask(t.size)
+	for s := 0; s < t.size; s++ {
+		if t.entries[out][s] != slots.NoInput {
+			m = m.With(s)
+		}
+	}
+	return m
+}
+
+// naiveNITable is the unpacked reference model of NITable.
+type naiveNITable struct {
+	size int
+	tx   []int
+	rx   []int
+}
+
+func newNaiveNITable(size int) *naiveNITable {
+	t := &naiveNITable{size: size, tx: make([]int, size), rx: make([]int, size)}
+	for s := 0; s < size; s++ {
+		t.tx[s], t.rx[s] = slots.NoChannel, slots.NoChannel
+	}
+	return t
+}
+
+func (t *naiveNITable) mask(row []int) slots.Mask {
+	m := slots.NewMask(t.size)
+	for s, ch := range row {
+		if ch != slots.NoChannel {
+			m = m.With(s)
+		}
+	}
+	return m
+}
+
+// applyPackedOps drives one randomized op sequence into a packed router
+// table, a packed NI table and their naive models, then checks every
+// observable answer agrees. Shared by the deterministic property test
+// and the fuzz target.
+func applyPackedOps(t *testing.T, sizeSel uint8, ops []byte) {
+	size := 1 + int(sizeSel)%slots.MaxTableSize
+	const numOutputs = 5
+	rt := slots.NewRouterTable(numOutputs, size)
+	nrt := newNaiveRouterTable(numOutputs, size)
+	nt := slots.NewNITable(size)
+	nnt := newNaiveNITable(size)
+
+	// Each op consumes 4 bytes: kind, target, selector, and a mask seed
+	// expanded into a multi-slot mask (the packed write path crosses
+	// 8-slot word boundaries only through masks).
+	for len(ops) >= 4 {
+		kind, target, selB, seed := ops[0], ops[1], ops[2], ops[3]
+		ops = ops[4:]
+		mask := slots.NewMask(size)
+		for b := 0; b < 3; b++ {
+			mask = mask.With((int(seed) * (b*7 + 1)) % size)
+		}
+		sel := int(selB)%10 - 1 // NoInput/NoChannel .. 8
+		switch kind % 3 {
+		case 0:
+			out := int(target) % numOutputs
+			if err := rt.Set(out, mask, sel); err != nil {
+				t.Fatalf("router Set(%d, %s, %d): %v", out, mask, sel, err)
+			}
+			nrt.set(out, mask, sel)
+		case 1:
+			if err := nt.SetSend(mask, sel); err != nil {
+				t.Fatalf("SetSend(%s, %d): %v", mask, sel, err)
+			}
+			for _, s := range mask.Slots() {
+				nnt.tx[s] = sel
+			}
+		case 2:
+			if err := nt.SetReceive(mask, sel); err != nil {
+				t.Fatalf("SetReceive(%s, %d): %v", mask, sel, err)
+			}
+			for _, s := range mask.Slots() {
+				nnt.rx[s] = sel
+			}
+		}
+	}
+
+	for o := 0; o < numOutputs; o++ {
+		want := nrt.occupiedMask(o)
+		if got := rt.OccupiedMask(o); got.Bits != want.Bits || got.Size != want.Size {
+			t.Fatalf("output %d: OccupiedMask %s, naive %s", o, got, want)
+		}
+		for s := 0; s < size; s++ {
+			if got, want := rt.Input(o, s), nrt.entries[o][s]; got != want {
+				t.Fatalf("Input(%d,%d) = %d, naive %d", o, s, got, want)
+			}
+			if got, want := rt.Occupied(o, s), nrt.entries[o][s] != slots.NoInput; got != want {
+				t.Fatalf("Occupied(%d,%d) = %v, naive %v", o, s, got, want)
+			}
+		}
+		// The rotation law must commute with packing: rotating the O(1)
+		// occupancy answer equals rotating the naive scan's answer.
+		if got, want := rt.OccupiedMask(o).RotateUp(3), want.RotateUp(3); got.Bits != want.Bits {
+			t.Fatalf("output %d: rotated occupancy %s, naive %s", o, got, want)
+		}
+	}
+	if got, want := nt.SendMask(), nnt.mask(nnt.tx); got.Bits != want.Bits || got.Size != want.Size {
+		t.Fatalf("SendMask %s, naive %s", got, want)
+	}
+	if got, want := nt.ReceiveMask(), nnt.mask(nnt.rx); got.Bits != want.Bits || got.Size != want.Size {
+		t.Fatalf("ReceiveMask %s, naive %s", got, want)
+	}
+	if got, want := nt.OccupiedMask(), nnt.mask(nnt.tx).Union(nnt.mask(nnt.rx)); got.Bits != want.Bits {
+		t.Fatalf("NI OccupiedMask %s, naive %s", got, want)
+	}
+	for s := 0; s < size; s++ {
+		e := nt.Entry(s)
+		if e.TX != nnt.tx[s] || e.RX != nnt.rx[s] {
+			t.Fatalf("Entry(%d) = %+v, naive TX=%d RX=%d", s, e, nnt.tx[s], nnt.rx[s])
+		}
+		if ch, ok := nt.Send(s); ch != nnt.tx[s] || ok != (nnt.tx[s] != slots.NoChannel) {
+			t.Fatalf("Send(%d) = %d,%v, naive %d", s, ch, ok, nnt.tx[s])
+		}
+		if ch, ok := nt.Receive(s); ch != nnt.rx[s] || ok != (nnt.rx[s] != slots.NoChannel) {
+			t.Fatalf("Receive(%d) = %d,%v, naive %d", s, ch, ok, nnt.rx[s])
+		}
+	}
+
+	// Clones answer identically and do not alias the original.
+	rc, nc := rt.Clone(), nt.Clone()
+	full := slots.Mask{Bits: wheelBits(size), Size: size}
+	if err := rc.Set(0, full, 3); err != nil {
+		t.Fatalf("clone Set: %v", err)
+	}
+	if err := nc.SetSend(full, 3); err != nil {
+		t.Fatalf("clone SetSend: %v", err)
+	}
+	if got, want := rt.OccupiedMask(0), nrt.occupiedMask(0); got.Bits != want.Bits {
+		t.Fatalf("clone write aliased router original: %s vs %s", got, want)
+	}
+	if got, want := nt.SendMask(), nnt.mask(nnt.tx); got.Bits != want.Bits {
+		t.Fatalf("clone write aliased NI original: %s vs %s", got, want)
+	}
+	if rc.OccupiedMask(0).Bits != full.Bits || nc.SendMask().Bits != full.Bits {
+		t.Fatalf("clone writes lost: %s / %s", rc.OccupiedMask(0), nc.SendMask())
+	}
+}
+
+func wheelBits(n int) uint64 {
+	if n == 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(n) - 1
+}
+
+// TestPackedTablesMatchNaive drives deterministic op sequences over the
+// wheel sizes the platform uses plus the 64-bit boundary.
+func TestPackedTablesMatchNaive(t *testing.T) {
+	for _, size := range []uint8{7, 8, 15, 31, 63, 9, 16, 2} {
+		var ops []byte
+		x := uint64(size)*2654435761 + 12345
+		for i := 0; i < 48; i++ {
+			x = x*6364136223846793005 + 1442695040888963407
+			ops = append(ops, byte(x>>33))
+		}
+		applyPackedOps(t, size, ops)
+	}
+}
+
+// FuzzPackedTables explores random op sequences; `go test -fuzz
+// FuzzPackedTables ./internal/slots` digs past the seeds.
+func FuzzPackedTables(f *testing.F) {
+	f.Add(uint8(7), []byte{0, 1, 2, 3, 1, 0, 9, 200, 2, 4, 5, 6})
+	f.Add(uint8(63), []byte{2, 2, 2, 255, 1, 1, 0, 0, 0, 3, 3, 3})
+	f.Add(uint8(15), []byte{})
+	f.Add(uint8(0), []byte{1, 0, 0, 0})
+	f.Fuzz(applyPackedOps)
+}

@@ -161,6 +161,39 @@ func (m Mask) String() string {
 // idle during that slot.
 const NoInput = -1
 
+// Slot tables are bitset-packed: selectors (input ports, NI channels)
+// live in 8-bit lanes of uint64 words holding value+1 (0 = none), and
+// each output/duty additionally keeps a one-bit-per-slot occupancy word.
+// Lookups on the cycle-accurate hot path are a shift and a mask, and the
+// occupancy questions the fast-forward machinery and the router's
+// early-out ask every cycle — "is any slot of this output driven?",
+// "is slot s driven?" — are single word operations instead of wheel
+// scans.
+const (
+	selBits    = 8
+	selPerWord = 64 / selBits
+	selMask    = 1<<selBits - 1
+	// MaxSelector is the largest selector value a packed table lane can
+	// hold (value+1 must fit in 8 bits). Both cfgproto limits
+	// (MaxRouterPort, MaxNIChannel) are far below it.
+	MaxSelector = selMask - 1
+)
+
+// selWords returns the number of packed words one wheel row needs.
+func selWords(size int) int { return (size + selPerWord - 1) / selPerWord }
+
+// selGet decodes the selector of slot s from a packed row.
+func selGet(row []uint64, s int) int {
+	return int(row[s/selPerWord]>>(uint(s%selPerWord)*selBits)&selMask) - 1
+}
+
+// selSet encodes selector v (NoInput/NoChannel..MaxSelector) into slot s.
+func selSet(row []uint64, s, v int) {
+	shift := uint(s%selPerWord) * selBits
+	w := &row[s/selPerWord]
+	*w = *w&^(uint64(selMask)<<shift) | uint64(v+1)<<shift
+}
+
 // RouterTable is a daelite router's TDM schedule: for each output port and
 // each slot, the input port the output forwards, or NoInput. Multicast is
 // the natural consequence of two outputs naming the same input in the same
@@ -168,7 +201,9 @@ const NoInput = -1
 type RouterTable struct {
 	numOutputs int
 	size       int
-	entries    [][]int // [output][slot] -> input or NoInput
+	wpr        int      // packed words per output row
+	sel        []uint64 // [output*wpr+slot/8] 8-bit lanes holding input+1
+	occ        []uint64 // [output] bit s set iff slot s is driven
 }
 
 // NewRouterTable returns an all-idle table for a router with the given
@@ -177,16 +212,13 @@ func NewRouterTable(numOutputs, size int) *RouterTable {
 	if size <= 0 || size > MaxTableSize {
 		panic(fmt.Sprintf("slots: table size %d out of range", size))
 	}
-	t := &RouterTable{numOutputs: numOutputs, size: size}
-	t.entries = make([][]int, numOutputs)
-	for o := range t.entries {
-		row := make([]int, size)
-		for s := range row {
-			row[s] = NoInput
-		}
-		t.entries[o] = row
+	return &RouterTable{
+		numOutputs: numOutputs,
+		size:       size,
+		wpr:        selWords(size),
+		sel:        make([]uint64, numOutputs*selWords(size)),
+		occ:        make([]uint64, numOutputs),
 	}
-	return t
 }
 
 // Size returns the wheel size.
@@ -204,36 +236,45 @@ func (t *RouterTable) Set(out int, mask Mask, in int) error {
 	if mask.Size != t.size {
 		return fmt.Errorf("slots: mask wheel %d != table wheel %d", mask.Size, t.size)
 	}
+	if in < NoInput || in > MaxSelector {
+		return fmt.Errorf("slots: input %d out of packed range (%d..%d)", in, NoInput, MaxSelector)
+	}
+	row := t.sel[out*t.wpr : (out+1)*t.wpr]
 	for _, s := range mask.Slots() {
-		t.entries[out][s] = in
+		selSet(row, s, in)
+		if in == NoInput {
+			t.occ[out] &^= 1 << uint(s)
+		} else {
+			t.occ[out] |= 1 << uint(s)
+		}
 	}
 	return nil
 }
 
 // Input returns the input feeding output out during slot s, or NoInput.
 func (t *RouterTable) Input(out, slot int) int {
-	return t.entries[out][slot]
+	return selGet(t.sel[out*t.wpr:(out+1)*t.wpr], slot)
+}
+
+// Occupied reports whether output out is driven during slot s — one bit
+// test against the packed occupancy word.
+func (t *RouterTable) Occupied(out, slot int) bool {
+	return t.occ[out]&(1<<uint(slot)) != 0
 }
 
 // OccupiedMask returns the mask of slots during which output out is
-// driven.
+// driven. With the packed representation this is O(1): the occupancy
+// word is maintained on every Set.
 func (t *RouterTable) OccupiedMask(out int) Mask {
-	m := NewMask(t.size)
-	for s := 0; s < t.size; s++ {
-		if t.entries[out][s] != NoInput {
-			m = m.With(s)
-		}
-	}
-	return m
+	return Mask{Bits: t.occ[out], Size: t.size}
 }
 
 // Clone returns a deep copy (used by tests and the online allocator's
 // what-if evaluation).
 func (t *RouterTable) Clone() *RouterTable {
 	c := NewRouterTable(t.numOutputs, t.size)
-	for o := range t.entries {
-		copy(c.entries[o], t.entries[o])
-	}
+	copy(c.sel, t.sel)
+	copy(c.occ, t.occ)
 	return c
 }
 
@@ -254,10 +295,12 @@ type NISlot struct {
 }
 
 // NITable is an NI's TDM schedule governing both packet departures and
-// arrivals.
+// arrivals. Like RouterTable it is bitset-packed: one packed selector
+// plane and one occupancy word per duty.
 type NITable struct {
-	size    int
-	entries []NISlot
+	size         int
+	tx, rx       []uint64 // 8-bit lanes holding channel+1 per slot
+	txOcc, rxOcc uint64   // bit s set iff slot s has the duty
 }
 
 // NewNITable returns an all-idle NI table over a wheel of size slots.
@@ -265,86 +308,86 @@ func NewNITable(size int) *NITable {
 	if size <= 0 || size > MaxTableSize {
 		panic(fmt.Sprintf("slots: table size %d out of range", size))
 	}
-	t := &NITable{size: size, entries: make([]NISlot, size)}
-	for i := range t.entries {
-		t.entries[i] = NISlot{TX: NoChannel, RX: NoChannel}
+	return &NITable{
+		size: size,
+		tx:   make([]uint64, selWords(size)),
+		rx:   make([]uint64, selWords(size)),
 	}
-	return t
 }
 
 // Size returns the wheel size.
 func (t *NITable) Size() int { return t.size }
 
-// SetSend assigns the transmit duty of every slot in mask (NoChannel
-// clears).
-func (t *NITable) SetSend(mask Mask, channel int) error {
+func (t *NITable) setDuty(row []uint64, occ *uint64, mask Mask, channel int) error {
 	if mask.Size != t.size {
 		return fmt.Errorf("slots: mask wheel %d != table wheel %d", mask.Size, t.size)
 	}
+	if channel < NoChannel || channel > MaxSelector {
+		return fmt.Errorf("slots: channel %d out of packed range (%d..%d)", channel, NoChannel, MaxSelector)
+	}
 	for _, s := range mask.Slots() {
-		t.entries[s].TX = channel
+		selSet(row, s, channel)
+		if channel == NoChannel {
+			*occ &^= 1 << uint(s)
+		} else {
+			*occ |= 1 << uint(s)
+		}
 	}
 	return nil
+}
+
+// SetSend assigns the transmit duty of every slot in mask (NoChannel
+// clears).
+func (t *NITable) SetSend(mask Mask, channel int) error {
+	return t.setDuty(t.tx, &t.txOcc, mask, channel)
 }
 
 // SetReceive assigns the receive duty of every slot in mask (NoChannel
 // clears).
 func (t *NITable) SetReceive(mask Mask, channel int) error {
-	if mask.Size != t.size {
-		return fmt.Errorf("slots: mask wheel %d != table wheel %d", mask.Size, t.size)
-	}
-	for _, s := range mask.Slots() {
-		t.entries[s].RX = channel
-	}
-	return nil
+	return t.setDuty(t.rx, &t.rxOcc, mask, channel)
 }
 
 // Entry returns the duties of slot s.
-func (t *NITable) Entry(s int) NISlot { return t.entries[s] }
+func (t *NITable) Entry(s int) NISlot {
+	return NISlot{TX: selGet(t.tx, s), RX: selGet(t.rx, s)}
+}
 
 // Send returns the channel injected in slot s, if any.
 func (t *NITable) Send(s int) (int, bool) {
-	ch := t.entries[s].TX
+	ch := selGet(t.tx, s)
 	return ch, ch != NoChannel
 }
 
 // Receive returns the channel receiving in slot s, if any.
 func (t *NITable) Receive(s int) (int, bool) {
-	ch := t.entries[s].RX
+	ch := selGet(t.rx, s)
 	return ch, ch != NoChannel
 }
 
-// SendMask returns the slots with a transmit duty.
+// SendMask returns the slots with a transmit duty — O(1) off the packed
+// occupancy word.
 func (t *NITable) SendMask() Mask {
-	m := NewMask(t.size)
-	for s, e := range t.entries {
-		if e.TX != NoChannel {
-			m = m.With(s)
-		}
-	}
-	return m
+	return Mask{Bits: t.txOcc, Size: t.size}
 }
 
-// ReceiveMask returns the slots with a receive duty.
+// ReceiveMask returns the slots with a receive duty — O(1) off the
+// packed occupancy word.
 func (t *NITable) ReceiveMask() Mask {
-	m := NewMask(t.size)
-	for s, e := range t.entries {
-		if e.RX != NoChannel {
-			m = m.With(s)
-		}
-	}
-	return m
+	return Mask{Bits: t.rxOcc, Size: t.size}
 }
 
 // OccupiedMask returns the slots with any duty.
 func (t *NITable) OccupiedMask() Mask {
-	return t.SendMask().Union(t.ReceiveMask())
+	return Mask{Bits: t.txOcc | t.rxOcc, Size: t.size}
 }
 
 // Clone returns a deep copy.
 func (t *NITable) Clone() *NITable {
 	c := NewNITable(t.size)
-	copy(c.entries, t.entries)
+	copy(c.tx, t.tx)
+	copy(c.rx, t.rx)
+	c.txOcc, c.rxOcc = t.txOcc, t.rxOcc
 	return c
 }
 

@@ -129,8 +129,25 @@ func NewMonitor(p *core.Platform) *Monitor {
 		m.wires = append(m.wires, monWire{s: s, wire: w})
 	}
 	slotWords, wheel := p.Params.SlotWords, p.Params.Wheel
+	// Per-wire credit-carrier counts of the current and previous
+	// hyper-period. A settled platform emits its credit carriers
+	// hyper-period-periodically, so the count over any window of one
+	// hyper-period is phase-invariant; the fast-forward hook uses the
+	// last complete period's measured count to advance the credit
+	// counters in closed form across skipped cycles. The measurement
+	// needs no model of the slot tables, so it stays exact even after
+	// slot-table upsets.
+	period := uint64(slotWords * wheel)
+	credCur := make([]uint64, len(m.wires))
+	credPrev := make([]uint64, len(m.wires))
 	p.Sim.AddProbe(func(cycle uint64) {
 		m.cycles++
+		if cycle%period == 0 {
+			copy(credPrev, credCur)
+			for i := range credCur {
+				credCur[i] = 0
+			}
+		}
 		slot := slots.SlotOfCycle(cycle, slotWords, wheel)
 		for i := range m.wires {
 			mw := &m.wires[i]
@@ -141,6 +158,7 @@ func NewMonitor(p *core.Platform) *Monitor {
 				mw.s.slotValid[slot]++
 			case f.CreditValid:
 				mw.s.creditOnly.Inc()
+				credCur[i]++
 			}
 		}
 		if shared && cycle%seriesEvery == 0 {
@@ -149,6 +167,30 @@ func NewMonitor(p *core.Platform) *Monitor {
 				v := s.valid.Value()
 				s.util.Append(cycle, float64(v-s.lastValid)/seriesEvery)
 				s.lastValid = v
+			}
+		}
+	})
+	p.Sim.AddFastForwardHook(func(from, to uint64) {
+		// The probes for cycles from+1..to never ran. The kernel only
+		// skips whole multiples of the hyper-period from a settled
+		// state (settle >= 2 periods, so credPrev was measured entirely
+		// within the quiet stretch), and no payload flits exist while
+		// quiescent, so only cycle and credit counts advance.
+		m.cycles += to - from
+		k := (to - from) / period
+		for i := range m.wires {
+			if credPrev[i] != 0 {
+				m.wires[i].s.creditOnly.Add(k * credPrev[i])
+			}
+		}
+		if shared {
+			for c := (from/seriesEvery + 1) * seriesEvery; c <= to; c += seriesEvery {
+				for i := range m.wires {
+					s := m.wires[i].s
+					v := s.valid.Value()
+					s.util.Append(c, float64(v-s.lastValid)/seriesEvery)
+					s.lastValid = v
+				}
 			}
 		}
 	})

@@ -196,6 +196,14 @@ func (s *Source) Eval(cycle uint64) {
 // Commit implements sim.Component.
 func (s *Source) Commit() {}
 
+// Quiescence implements sim.Quiescer: a limited source that has sent
+// everything never injects again (Eval early-returns on Done), so it is
+// quiet forever; an unlimited or unfinished source pins cycle-accurate
+// execution.
+func (s *Source) Quiescence(now uint64) sim.Quiescence {
+	return sim.Quiescence{Quiet: s.Done()}
+}
+
 // Sink drains one NI channel and records latencies.
 type Sink struct {
 	name    string
@@ -274,6 +282,13 @@ func (k *Sink) Eval(cycle uint64) {
 // Commit implements sim.Component.
 func (k *Sink) Commit() {}
 
+// Quiescence implements sim.Quiescer: quiet while the drained channel's
+// receive queue is empty — Eval would observe nothing and record
+// nothing.
+func (k *Sink) Quiescence(now uint64) sim.Quiescence {
+	return sim.Quiescence{Quiet: k.ni.RecvLen(k.channel) == 0}
+}
+
 // Event is one timed injection for trace playback.
 type Event struct {
 	// Cycle is the earliest cycle the word may be offered to the NI.
@@ -332,6 +347,20 @@ func (r *Replayer) Eval(cycle uint64) {
 // Commit implements sim.Component.
 func (r *Replayer) Commit() {}
 
+// Quiescence implements sim.Quiescer: an exhausted trace is quiet
+// forever; otherwise the replayer is quiet exactly until its next
+// event's cycle (an overdue event — a word still waiting on a full
+// queue — reports busy, since Until would not lie in the future).
+func (r *Replayer) Quiescence(now uint64) sim.Quiescence {
+	if r.Done() {
+		return sim.Quiescence{Quiet: true}
+	}
+	if next := r.events[r.next].Cycle; next > now {
+		return sim.Quiescence{Quiet: true, Until: next}
+	}
+	return sim.Quiescence{}
+}
+
 // Recorder captures deliveries on an NI channel as an event trace
 // (timestamped by delivery cycle), so one simulation's output can drive
 // another's input.
@@ -372,3 +401,9 @@ func (r *Recorder) Eval(cycle uint64) {
 
 // Commit implements sim.Component.
 func (r *Recorder) Commit() {}
+
+// Quiescence implements sim.Quiescer: quiet while there is nothing to
+// record on the watched channel.
+func (r *Recorder) Quiescence(now uint64) sim.Quiescence {
+	return sim.Quiescence{Quiet: r.ni.RecvLen(r.channel) == 0}
+}
