@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet fmt race bench benchdiff bench-baseline experiments golden examples cover cover-gate conform fuzz profile admd soak trace clean
+.PHONY: all build test vet fmt race bench benchdiff bench-baseline experiments golden examples cover cover-gate conform workloads fuzz profile admd soak trace clean
 
 all: build vet test
 
@@ -68,6 +68,15 @@ cover-gate:
 # The CI conformance gate: differential sweep + mutation smoke.
 conform:
 	$(GO) run ./cmd/daelite-conform -scenarios 25 -seed 1
+
+# The CI workloads gate: both example application packs swept across
+# kernel worker counts with fast-forward checked against the
+# cycle-accurate reference, each pack's mutation smoke, and the DNN pack
+# soaked under per-phase fault injection and repair.
+workloads:
+	$(GO) run ./cmd/daelite-conform -workload examples/workloads/dnn.json -fastforward
+	$(GO) run ./cmd/daelite-conform -workload examples/workloads/tinytera.json -fastforward
+	$(GO) run ./cmd/daelite-chaos -workload examples/workloads/dnn.json -chaos-every 2
 
 # Short seeded fuzz run of the allocation verifier — the same budget as
 # the CI fuzz step.

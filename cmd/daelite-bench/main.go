@@ -37,7 +37,7 @@ func main() {
 	var which, outPath, cpuProfile, memProfile string
 	var listOnly, jsonOut, fastforward bool
 	var workers int
-	flag.StringVar(&which, "experiment", "", "run only the experiment with this ID (E1..E22, A1..A9) or artifact substring")
+	flag.StringVar(&which, "experiment", "", "run only the experiment with this ID (E1..E24, A1..A9) or artifact substring")
 	flag.BoolVar(&listOnly, "list", false, "list experiments without running them")
 	flag.StringVar(&outPath, "o", "", "also write the output to this file (with -json: the snapshot path)")
 	flag.BoolVar(&jsonOut, "json", false, "emit a BENCH_<rev>.json machine-readable snapshot instead of tables")
@@ -212,6 +212,8 @@ func list() {
 	fmt.Println("E20  regioned vs single-tree set-up latency and wire cost")
 	fmt.Println("E21  per-stage set-up latency via causal traces")
 	fmt.Println("E22  fast-forward throughput (cycles/sec + skipped fraction vs workload; not in golden output)")
+	fmt.Println("E23  DNN inference pack: per-layer energy and latency")
+	fmt.Println("E24  switch-fabric pack: acceptance and delivery under VOQ matrices")
 	fmt.Println("A1   ablation: TDM wheel size")
 	fmt.Println("A2   ablation: configuration cool-down")
 	fmt.Println("A3   ablation: host placement / tree depth")
@@ -539,6 +541,8 @@ func timedExperiments() ([]timedResult, error) {
 		experiments.SlotPlacement,
 		experiments.PartialReconfig,
 		experiments.ModelVsModelArea,
+		experiments.DNNWorkload,
+		experiments.SwitchWorkload,
 	}
 	out := make([]timedResult, 0, len(runs))
 	for _, run := range runs {

@@ -6,6 +6,12 @@
 // pure function of -seed: the same invocation replays bit-identically.
 //
 //	daelite-chaos -mesh 4x4 -conns 6 -kill 2 -cycles 40000 -seed 7
+//
+// With -workload pack.json the soak instead executes a workload pack
+// (see internal/workload) with a link-down fault planted in every
+// -chaos-every'th phase: the application's own phases are the traffic,
+// the health monitor repairs around each dead link mid-phase, and the
+// run still checks bit-deterministic against the pack's invariants.
 package main
 
 import (
@@ -23,11 +29,13 @@ import (
 )
 
 func main() {
-	var conns, kill, cycles int
+	var conns, kill, cycles, chaosEvery int
 	var seed, timeout, limit uint64
-	var expectFP string
+	var expectFP, workloadPath string
 	pf := cli.RegisterPlatformFlags(flag.CommandLine)
 	flag.StringVar(&expectFP, "expect-fingerprint", "", "fail (exit non-zero) unless the run's determinism fingerprint equals this hex value")
+	flag.StringVar(&workloadPath, "workload", "", "soak this workload pack JSON under per-phase fault injection instead of random CBR streams")
+	flag.IntVar(&chaosEvery, "chaos-every", 2, "with -workload: plant a link-down fault in every Nth phase (1 = every phase)")
 	flag.IntVar(&conns, "conns", 6, "connections to open")
 	flag.IntVar(&kill, "kill", 1, "router-to-router links to kill during the run")
 	flag.IntVar(&cycles, "cycles", 40000, "cycles to soak after set-up")
@@ -35,6 +43,18 @@ func main() {
 	flag.Uint64Var(&timeout, "stall-timeout", 256, "health monitor no-progress window (cycles)")
 	flag.Uint64Var(&limit, "limit", 0, "words each source sends (0 = unlimited); bounded sources drain and let -fastforward engage")
 	flag.Parse()
+
+	if workloadPath != "" {
+		if chaosEvery < 1 {
+			fatal("-chaos-every must be >= 1")
+		}
+		if err := cli.RunWorkload(os.Stdout, pf, cli.WorkloadRun{
+			Path: workloadPath, ExpectFingerprint: expectFP, ChaosEvery: chaosEvery,
+		}); err != nil {
+			fatal("%v", err)
+		}
+		return
+	}
 
 	p, err := pf.BuildMesh()
 	if err != nil {

@@ -9,6 +9,13 @@
 //
 //	daelite-conform -scenarios 25 -seed 1
 //	daelite-conform -mutate=false -scenarios 5 -v
+//
+// With -workload pack.json the same discipline is applied to an
+// application workload pack instead of random scenarios: the pack runs
+// under every worker count (and fast-forward when -fastforward is set),
+// everything observable must match the single-worker cycle-accurate
+// reference bit for bit, and the pack's own mutation smoke proves the
+// checkers can see a planted slot-table flip mid-broadcast.
 package main
 
 import (
@@ -17,6 +24,7 @@ import (
 	"os"
 	"runtime"
 
+	"daelite/internal/cli"
 	"daelite/internal/conformance"
 )
 
@@ -24,16 +32,25 @@ func main() {
 	var scenarios int
 	var seed, mutSeed uint64
 	var mutate, verbose, fastforward bool
+	var workloadPath string
 	flag.IntVar(&scenarios, "scenarios", 25, "seeded scenarios in the differential sweep")
 	flag.Uint64Var(&seed, "seed", 1, "base seed; scenario i uses seed+i")
 	flag.BoolVar(&mutate, "mutate", true, "run the mutation smoke drill after the sweep")
 	flag.Uint64Var(&mutSeed, "mutation-seed", 3, "seed for the mutation smoke drill")
 	flag.BoolVar(&verbose, "v", false, "print every scenario, not just failures")
 	flag.BoolVar(&fastforward, "fastforward", false, "sweep with fast-forwarding armed, checked against a cycle-accurate reference run per scenario")
+	flag.StringVar(&workloadPath, "workload", "", "sweep this workload pack JSON across worker counts instead of random scenarios")
 	flag.Parse()
 
 	failed := false
 	workers := []int{1, 2, runtime.NumCPU()}
+
+	if workloadPath != "" {
+		if err := cli.SweepWorkload(os.Stdout, workloadPath, workers, fastforward, mutate); err != nil {
+			fatal("%v", err)
+		}
+		return
+	}
 	if scenarios > 0 {
 		var entries []*conformance.SweepEntry
 		var err error

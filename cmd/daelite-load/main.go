@@ -13,6 +13,12 @@
 // status; quota rejections (429), capacity rejections (409) and
 // backpressure (503, retried when -retry is set) are expected outcomes,
 // not failures.
+//
+// With -workload pack.json the driver replays a compiled workload pack's
+// connection plan instead of the random mix: each application phase is
+// submitted as a burst of set-ups against the control plane and torn
+// down phase by phase, reporting per-phase admission outcomes. The
+// daemon's mesh must match the pack's.
 package main
 
 import (
@@ -23,11 +29,12 @@ import (
 	"time"
 
 	"daelite/internal/admission"
+	"daelite/internal/cli"
 )
 
 func main() {
 	var cfg admission.LoadConfig
-	var jsonOut string
+	var jsonOut, workloadPath string
 	flag.StringVar(&cfg.BaseURL, "url", "http://127.0.0.1:8377", "base URL of the daelite-admd instance")
 	flag.IntVar(&cfg.Requests, "requests", 10000, "total requests to issue")
 	flag.IntVar(&cfg.Concurrency, "concurrency", 4, "concurrent workers")
@@ -39,8 +46,14 @@ func main() {
 	flag.BoolVar(&cfg.Retry503, "retry", true, "retry requests refused with 503 backpressure")
 	flag.IntVar(&cfg.TraceSample, "trace-sample", 0, "trace every Nth request end-to-end and report the per-stage cycle breakdown (0 = off)")
 	flag.StringVar(&jsonOut, "json", "", "also write the report as JSON to this file (- for stdout)")
+	flag.StringVar(&workloadPath, "workload", "", "replay this workload pack's connection plan against the daemon instead of the random mix")
 	flag.Parse()
 	cfg.Tenants = flag.Args() // optional subset; empty = all advertised tenants
+
+	if workloadPath != "" {
+		replayWorkload(cfg, workloadPath, jsonOut)
+		return
+	}
 
 	start := time.Now()
 	rep, err := admission.RunLoad(cfg)
@@ -52,6 +65,46 @@ func main() {
 	fmt.Print(rep.String())
 	fmt.Printf("wall time: %s (%.0f req/s)\n", elapsed.Round(time.Millisecond),
 		float64(rep.Requests)/elapsed.Seconds())
+
+	if jsonOut != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal("%v", err)
+		}
+		data = append(data, '\n')
+		if jsonOut == "-" {
+			os.Stdout.Write(data)
+		} else if err := os.WriteFile(jsonOut, data, 0o644); err != nil {
+			fatal("-json: %v", err)
+		}
+	}
+
+	if rep.Errors > 0 {
+		fatal("%d request(s) failed", rep.Errors)
+	}
+}
+
+// replayWorkload is the -workload mode: compile the pack, lower its
+// phase plan to admission-plane requests (coordinates address routers;
+// the daemon resolves them to NIs) and replay it phase by phase as one
+// tenant.
+func replayWorkload(cfg admission.LoadConfig, path, jsonOut string) {
+	wc, err := cli.LoadWorkload(path)
+	if err != nil {
+		fatal("%v", err)
+	}
+	phases := admission.PlanFromPack(wc)
+
+	start := time.Now()
+	rep, err := admission.RunPlan(cfg, phases)
+	if err != nil {
+		fatal("%v", err)
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("workload %s: %d phases\n", wc.Name(), len(phases))
+	fmt.Print(rep.String())
+	fmt.Printf("wall time: %s\n", elapsed.Round(time.Millisecond))
 
 	if jsonOut != "" {
 		data, err := json.MarshalIndent(rep, "", "  ")

@@ -11,6 +11,12 @@
 // declarative JSON description (see internal/spec) and runs CBR traffic
 // at each connection's annotated rate.
 //
+// With -workload pack.json the command instead compiles and executes an
+// application workload pack (see internal/workload): every phase opens
+// its connections through the real configuration path, drives its
+// traffic, and is checked online against the analytical model; any
+// differential mismatch or invariant violation exits non-zero.
+//
 // With -fail-link x1,y1-x2,y2 the named router link dies -fail-at cycles
 // into the run; a health monitor detects the stalled connections and the
 // platform repairs them around the dead link, and the report gains fault
@@ -41,7 +47,7 @@ import (
 )
 
 func main() {
-	var vcdPath, specPath, failLink, expectFP string
+	var vcdPath, specPath, failLink, expectFP, workloadPath string
 	var cycles int
 	var failAt, faultSeed, stallTimeout, limit uint64
 	var conform bool
@@ -52,11 +58,19 @@ func main() {
 	flag.StringVar(&expectFP, "expect-fingerprint", "", "fail (exit non-zero) unless the run's determinism fingerprint equals this hex value")
 	flag.StringVar(&vcdPath, "vcd", "", "write a VCD waveform of every NI link to this file")
 	flag.StringVar(&specPath, "spec", "", "build the platform from this JSON spec instead of flags")
+	flag.StringVar(&workloadPath, "workload", "", "compile and run this workload pack JSON (see internal/workload) instead of CBR connections")
 	flag.StringVar(&failLink, "fail-link", "", "kill the router link x1,y1-x2,y2 mid-run and repair around it")
 	flag.Uint64Var(&failAt, "fail-at", 1000, "cycles after set-up at which -fail-link dies")
 	flag.Uint64Var(&faultSeed, "fault-seed", 1, "seed for the fault injector")
 	flag.Uint64Var(&stallTimeout, "stall-timeout", 256, "health monitor no-progress window (cycles)")
 	flag.Parse()
+
+	if workloadPath != "" {
+		if err := cli.RunWorkload(os.Stdout, pf, cli.WorkloadRun{Path: workloadPath, ExpectFingerprint: expectFP}); err != nil {
+			fatal("%v", err)
+		}
+		return
+	}
 
 	var p *core.Platform
 	var prebuilt []*core.Connection

@@ -303,15 +303,26 @@ type EnergyModel struct {
 	// HeaderDecodePJ is the control energy of parsing one header and
 	// shifting the route (aelite only).
 	HeaderDecodePJ Float
+
+	// The remaining costs price the tile-side events of an accelerator
+	// built around the NoC (the DNN workload packs): reading one word
+	// from a shared memory tile, landing one delivered word in a
+	// consumer tile's local buffer, and one multiply-accumulate.
+	MMemReadPJPerWord  Float
+	LMemWritePJPerWord Float
+	MACPJ              Float
 }
 
 // DefaultEnergyModel returns the calibrated per-event costs.
 func DefaultEnergyModel() EnergyModel {
 	return EnergyModel{
-		RegWritePJPerBit: 0.015,
-		XbarPJPerBit:     0.020,
-		LinkPJPerBit:     0.045,
-		HeaderDecodePJ:   1.8,
+		RegWritePJPerBit:   0.015,
+		XbarPJPerBit:       0.020,
+		LinkPJPerBit:       0.045,
+		HeaderDecodePJ:     1.8,
+		MMemReadPJPerWord:  18.0,
+		LMemWritePJPerWord: 1.2,
+		MACPJ:              0.9,
 	}
 }
 

@@ -408,9 +408,15 @@ func (p *Platform) Close(c *Connection) error {
 			Element: int(c.Spec.Src), Reg: cfgproto.RegSelect(cfgproto.RegFlags, c.SrcChannel),
 		})
 		for d, ch := range c.DstChannels {
-			flagClears = append(flagClears, cfgproto.RegWrite{
-				Element: int(d), Reg: cfgproto.RegSelect(cfgproto.RegFlags, ch),
-			})
+			// Clear the unreturned-delivery counter along with the flags:
+			// multicast is creditless, so consumed words accumulate there
+			// with no reverse path to drain them, and a stale count would
+			// leak as bogus credits to whichever connection reuses the
+			// channel next.
+			flagClears = append(flagClears,
+				cfgproto.RegWrite{Element: int(d), Reg: cfgproto.RegSelect(cfgproto.RegFlags, ch)},
+				cfgproto.RegWrite{Element: int(d), Reg: cfgproto.RegSelect(cfgproto.RegDelivered, ch)},
+			)
 		}
 	} else {
 		fp, err := p.unicastPackets(c.Fwd, c.SrcChannel, c.DstChannel, false)
@@ -428,6 +434,10 @@ func (p *Platform) Close(c *Connection) error {
 			{Element: int(c.Spec.Dst), Reg: cfgproto.RegSelect(cfgproto.RegFlags, c.DstChannel)},
 			{Element: int(c.Spec.Src), Reg: cfgproto.RegSelect(cfgproto.RegCredit, c.SrcChannel)},
 			{Element: int(c.Spec.Dst), Reg: cfgproto.RegSelect(cfgproto.RegCredit, c.DstChannel)},
+			// A delivery consumed after the last reverse-slot latch leaves
+			// its credit unreturned; clear the counter so it cannot leak
+			// into the channel's next user.
+			{Element: int(c.Spec.Dst), Reg: cfgproto.RegSelect(cfgproto.RegDelivered, c.DstChannel)},
 		}
 	}
 	wr, err := p.regPackets(flagClears)

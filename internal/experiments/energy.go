@@ -5,7 +5,60 @@ import (
 
 	"daelite/internal/area"
 	"daelite/internal/report"
+	"daelite/internal/workload"
 )
+
+// EnergyComponents is the energy of one workload phase split by activity
+// class: NoC traversals, shared memory-tile reads, local buffer landings
+// at the consuming tiles, and MAC-array switching. Units are picojoules.
+type EnergyComponents struct {
+	CommPJ float64
+	MMemPJ float64
+	LMemPJ float64
+	CompPJ float64
+}
+
+// TotalPJ sums the components.
+func (e EnergyComponents) TotalPJ() float64 {
+	return e.CommPJ + e.MMemPJ + e.LMemPJ + e.CompPJ
+}
+
+// PhaseEnergy prices one measured phase with the activity-based energy
+// model: every router traversal the phase added costs one daelite hop,
+// every word the broadcast pulled out of a memory tile costs a main
+// memory read, every delivered word costs a local buffer write at its
+// consumer, and every MAC of the layer costs one multiply-accumulate.
+func PhaseEnergy(ph *workload.PhaseResult, e area.EnergyModel) EnergyComponents {
+	return EnergyComponents{
+		CommPJ: float64(ph.Forwarded) * e.DaeliteHopPJ(area.LinkWidth),
+		MMemPJ: float64(ph.MMemWords) * e.MMemReadPJPerWord,
+		LMemPJ: float64(ph.Delivered) * e.LMemWritePJPerWord,
+		CompPJ: float64(ph.MACs) * e.MACPJ,
+	}
+}
+
+// LatencyComponents splits a phase's cycle count into the connection
+// set-up window (admission to settled slot tables), the transfer window
+// (first injection to last delivery or budget exhaustion) and the settle
+// and teardown tail.
+type LatencyComponents struct {
+	SetupCycles    uint64
+	TransferCycles uint64
+	SettleCycles   uint64
+}
+
+// PhaseLatency derives the split from a measured phase. The components
+// always sum to the phase's total cycle count.
+func PhaseLatency(ph *workload.PhaseResult) LatencyComponents {
+	lc := LatencyComponents{SetupCycles: ph.SetupCycles}
+	if ph.DrainCycles > ph.SetupCycles {
+		lc.TransferCycles = ph.DrainCycles - ph.SetupCycles
+	}
+	if rest := lc.SetupCycles + lc.TransferCycles; ph.Cycles > rest {
+		lc.SettleCycles = ph.Cycles - rest
+	}
+	return lc
+}
 
 // EnergyPerWord (A7) is an activity-based energy comparison in the spirit
 // of Banerjee [3] (Table II's energy-and-performance exploration): the

@@ -1,0 +1,134 @@
+package experiments
+
+// Table-driven unit tests for the workload-phase energy and latency
+// accounting. The arithmetic is pinned against an explicit literal
+// energy model (not the calibrated defaults) so a constant recalibration
+// cannot silently absorb a pricing bug.
+
+import (
+	"math"
+	"testing"
+
+	"daelite/internal/area"
+	"daelite/internal/workload"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestPhaseEnergyComponents(t *testing.T) {
+	// width 36: hop = (2*0.01 + 0.02 + 0.05) * 36 = 3.24 pJ/word-hop.
+	e := area.EnergyModel{
+		RegWritePJPerBit:   0.01,
+		XbarPJPerBit:       0.02,
+		LinkPJPerBit:       0.05,
+		MMemReadPJPerWord:  10.0,
+		LMemWritePJPerWord: 2.0,
+		MACPJ:              0.5,
+	}
+	hop := e.DaeliteHopPJ(area.LinkWidth)
+	cases := []struct {
+		name string
+		ph   workload.PhaseResult
+		want EnergyComponents
+	}{
+		{
+			name: "zero activity is zero energy",
+			ph:   workload.PhaseResult{},
+			want: EnergyComponents{},
+		},
+		{
+			name: "broadcast: comm, main-memory reads, local landings",
+			ph: workload.PhaseResult{
+				Kind: "broadcast", Forwarded: 100, MMemWords: 64, Delivered: 128,
+			},
+			want: EnergyComponents{
+				CommPJ: 100 * hop,
+				MMemPJ: 64 * 10.0,
+				LMemPJ: 128 * 2.0,
+			},
+		},
+		{
+			name: "compute phase prices MACs",
+			ph: workload.PhaseResult{
+				Kind: "activation", Forwarded: 7, Delivered: 5, MACs: 4096,
+			},
+			want: EnergyComponents{
+				CommPJ: 7 * hop,
+				LMemPJ: 5 * 2.0,
+				CompPJ: 4096 * 0.5,
+			},
+		},
+		{
+			name: "forwarding dominates a long route",
+			ph:   workload.PhaseResult{Forwarded: 1_000_000},
+			want: EnergyComponents{CommPJ: 1_000_000 * hop},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := PhaseEnergy(&tc.ph, e)
+			if !almost(got.CommPJ, tc.want.CommPJ) || !almost(got.MMemPJ, tc.want.MMemPJ) ||
+				!almost(got.LMemPJ, tc.want.LMemPJ) || !almost(got.CompPJ, tc.want.CompPJ) {
+				t.Fatalf("PhaseEnergy = %+v, want %+v", got, tc.want)
+			}
+			sum := tc.want.CommPJ + tc.want.MMemPJ + tc.want.LMemPJ + tc.want.CompPJ
+			if !almost(got.TotalPJ(), sum) {
+				t.Fatalf("TotalPJ = %v, want the component sum %v", got.TotalPJ(), sum)
+			}
+		})
+	}
+}
+
+func TestPhaseLatencyComponents(t *testing.T) {
+	cases := []struct {
+		name string
+		ph   workload.PhaseResult
+		want LatencyComponents
+	}{
+		{
+			name: "plain split",
+			ph:   workload.PhaseResult{SetupCycles: 100, DrainCycles: 400, Cycles: 3000},
+			want: LatencyComponents{SetupCycles: 100, TransferCycles: 300, SettleCycles: 2600},
+		},
+		{
+			name: "zero phase",
+			ph:   workload.PhaseResult{},
+			want: LatencyComponents{},
+		},
+		{
+			name: "never drained: transfer absorbs the rest of the drain window",
+			ph:   workload.PhaseResult{SetupCycles: 50, DrainCycles: 50, Cycles: 2098},
+			want: LatencyComponents{SetupCycles: 50, TransferCycles: 0, SettleCycles: 2048},
+		},
+		{
+			name: "clamped when drain undercuts setup",
+			ph:   workload.PhaseResult{SetupCycles: 80, DrainCycles: 60, Cycles: 100},
+			want: LatencyComponents{SetupCycles: 80, TransferCycles: 0, SettleCycles: 20},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := PhaseLatency(&tc.ph)
+			if got != tc.want {
+				t.Fatalf("PhaseLatency = %+v, want %+v", got, tc.want)
+			}
+			if total := got.SetupCycles + got.TransferCycles + got.SettleCycles; total != tc.ph.Cycles {
+				t.Fatalf("components sum to %d, phase ran %d cycles", total, tc.ph.Cycles)
+			}
+		})
+	}
+}
+
+func TestDefaultEnergyModelTileCosts(t *testing.T) {
+	e := area.DefaultEnergyModel()
+	if e.MMemReadPJPerWord <= 0 || e.LMemWritePJPerWord <= 0 || e.MACPJ <= 0 {
+		t.Fatalf("tile-side default costs must be positive: %+v", e)
+	}
+	// The calibration must keep the accelerator-model ordering: a shared
+	// memory-tile read costs more than a local buffer landing, which
+	// costs more than one MAC.
+	if !(e.MMemReadPJPerWord > e.LMemWritePJPerWord && e.LMemWritePJPerWord > e.MACPJ) {
+		t.Fatalf("default tile costs lost their ordering: mmem=%v lmem=%v mac=%v",
+			e.MMemReadPJPerWord, e.LMemWritePJPerWord, e.MACPJ)
+	}
+}

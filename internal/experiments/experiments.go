@@ -121,6 +121,8 @@ func All() ([]*Result, error) {
 		ModelVsModelArea,
 		RegionSetup,
 		TraceBreakdown,
+		DNNWorkload,
+		SwitchWorkload,
 	}
 	var out []*Result
 	for _, run := range runs {

@@ -446,3 +446,50 @@ func TestAllSmoke(t *testing.T) {
 		}
 	}
 }
+
+// E23: the DNN pack's energy table must carry every compiled phase, and
+// the accounting shape must hold — communication is a real but minority
+// share next to compute and memory, and connection set-up is a small
+// fraction of the active cycles (the fast-configuration claim at
+// application level).
+func TestDNNWorkload(t *testing.T) {
+	r, err := DNNWorkload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Metrics["phases"] != 5 {
+		t.Fatalf("phases = %v, want 5 (3 broadcasts + 2 activation transfers)", r.Metrics["phases"])
+	}
+	if r.Metrics["delivered_words"] == 0 {
+		t.Fatal("nothing delivered")
+	}
+	if s := r.Metrics["comm_share"]; s <= 0 || s >= 1 {
+		t.Fatalf("comm share = %v, want a proper fraction", s)
+	}
+	if s := r.Metrics["setup_share_of_active"]; s <= 0 || s > 0.5 {
+		t.Fatalf("set-up share = %v, want a small fraction of active cycles", s)
+	}
+}
+
+// E24: every VOQ matrix of the switch pack is admissible by
+// construction, so acceptance must be complete and delivery lossless;
+// the hotspot matrix must visibly concentrate the hot egress's wheel
+// relative to uniform.
+func TestSwitchWorkload(t *testing.T) {
+	r, err := SwitchWorkload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pattern := range []string{"uniform", "diagonal", "hotspot"} {
+		if a := r.Metrics["accept_"+pattern]; a != 1 {
+			t.Fatalf("%s acceptance = %v, want 1", pattern, a)
+		}
+		if r.Metrics["delivered_"+pattern] == 0 {
+			t.Fatalf("%s delivered nothing", pattern)
+		}
+	}
+	if r.Metrics["hot_slots_hotspot"] <= r.Metrics["hot_slots_uniform"] {
+		t.Fatalf("hotspot concentrates %v slots vs uniform %v, want strictly more",
+			r.Metrics["hot_slots_hotspot"], r.Metrics["hot_slots_uniform"])
+	}
+}

@@ -182,9 +182,11 @@ type Instance struct {
 	Names map[string]int
 }
 
-// Build instantiates the platform and opens every connection, driving the
-// simulation until the configuration settles.
-func (s *Spec) Build() (*Instance, error) {
+// BuildPlatform instantiates the platform alone — topology, parameters
+// and host — without opening any connections. Front-ends that manage
+// their own connection lifecycle (phase-structured workloads, chaos
+// drivers) start here; Build layers the start-of-day connections on top.
+func (s *Spec) BuildPlatform() (*core.Platform, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -209,10 +211,17 @@ func (s *Spec) Build() (*Instance, error) {
 	if err != nil {
 		return nil, err
 	}
-	p, err := core.NewPlatform(m, s.params(), m.NI(s.Host.X, s.Host.Y, s.Host.NI))
+	return core.NewPlatform(m, s.params(), m.NI(s.Host.X, s.Host.Y, s.Host.NI))
+}
+
+// Build instantiates the platform and opens every connection, driving the
+// simulation until the configuration settles.
+func (s *Spec) Build() (*Instance, error) {
+	p, err := s.BuildPlatform()
 	if err != nil {
 		return nil, err
 	}
+	m := p.Mesh
 	inst := &Instance{Platform: p, Names: make(map[string]int)}
 	for i, c := range s.Connections {
 		cs := core.ConnectionSpec{

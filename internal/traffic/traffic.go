@@ -104,6 +104,7 @@ type Source struct {
 	burstLeft int
 	sent      uint64
 	rejected  uint64
+	detached  bool
 	payload   func(seq uint64) phit.Word
 }
 
@@ -153,9 +154,15 @@ func (s *Source) Rejected() uint64 { return s.rejected }
 // Done reports whether a limited source has sent everything.
 func (s *Source) Done() bool { return s.limit > 0 && s.sent >= s.limit }
 
+// Detach permanently idles the source: it never injects again and stays
+// quiescent. Phase-structured workloads detach a source before its NI
+// channel is freed and reused, so a stale generator cannot inject into a
+// successor connection's channel.
+func (s *Source) Detach() { s.detached = true }
+
 // Eval implements sim.Component.
 func (s *Source) Eval(cycle uint64) {
-	if s.Done() {
+	if s.detached || s.Done() {
 		return
 	}
 	want := 0
@@ -201,7 +208,7 @@ func (s *Source) Commit() {}
 // quiet forever; an unlimited or unfinished source pins cycle-accurate
 // execution.
 func (s *Source) Quiescence(now uint64) sim.Quiescence {
-	return sim.Quiescence{Quiet: s.Done()}
+	return sim.Quiescence{Quiet: s.detached || s.Done()}
 }
 
 // Sink drains one NI channel and records latencies.
@@ -219,6 +226,7 @@ type Sink struct {
 	received uint64
 	lastSeq  map[int]uint64
 	ooo      uint64 // out-of-order deliveries (per source channel)
+	detached bool
 	verify   func(d ni.Delivery) error
 	verr     error
 }
@@ -254,8 +262,17 @@ func (k *Sink) SetVerify(f func(d ni.Delivery) error) { k.verify = f }
 // VerifyErr returns the first verification failure, if any.
 func (k *Sink) VerifyErr() error { return k.verr }
 
+// Detach permanently idles the sink: it stops draining the channel and
+// stays quiescent. A phase-structured workload detaches its sinks before
+// tearing the phase's connections down, so a stale sink cannot steal
+// deliveries once the NI channel is reused by a later connection.
+func (k *Sink) Detach() { k.detached = true }
+
 // Eval implements sim.Component.
 func (k *Sink) Eval(cycle uint64) {
+	if k.detached {
+		return
+	}
 	n := 0
 	for {
 		if k.MaxPerCycle > 0 && n >= k.MaxPerCycle {
@@ -286,7 +303,7 @@ func (k *Sink) Commit() {}
 // receive queue is empty — Eval would observe nothing and record
 // nothing.
 func (k *Sink) Quiescence(now uint64) sim.Quiescence {
-	return sim.Quiescence{Quiet: k.ni.RecvLen(k.channel) == 0}
+	return sim.Quiescence{Quiet: k.detached || k.ni.RecvLen(k.channel) == 0}
 }
 
 // Event is one timed injection for trace playback.

@@ -1,0 +1,85 @@
+package workload
+
+import (
+	"fmt"
+
+	"daelite/internal/spec"
+)
+
+// compileDNN expands the layer graph into the per-layer phase pairs the
+// paper's traffic classes map onto: an M2C phase that multicasts the
+// layer's weights from its memory tile to every consumer tile, then a
+// C2C phase that carries the output activations to the next layer's
+// tiles over unicast connections. Tile mapping is round-robin: source
+// tile j of layer l feeds tile j mod T of layer l+1; a transfer whose
+// source and destination coincide stays in local memory and emits no
+// connection.
+func compileDNN(s *Spec) ([]Phase, error) {
+	d := s.DNN
+	bpw := d.BytesPerWord
+	if bpw == 0 {
+		bpw = 4
+	}
+	var phases []Phase
+	for i, l := range d.Layers {
+		name := l.Name
+		if name == "" {
+			name = fmt.Sprintf("l%d", i)
+		}
+		mem := d.MemoryTiles[i%len(d.MemoryTiles)]
+		for _, t := range l.Tiles {
+			if t == mem {
+				return nil, fmt.Errorf("workload: %s: tile (%d,%d,%d) coincides with its memory tile", name, t.X, t.Y, t.NI)
+			}
+		}
+		weightWords := words(l.WeightBytes, bpw)
+		bs := l.BroadcastSlots
+		if bs == 0 {
+			bs = 1
+		}
+		macs := l.MACs
+		if macs == 0 {
+			macs = uint64(l.Neurons) * weightWords
+		}
+		bcast := Phase{
+			Name: name + ".weights", Kind: "broadcast", Layer: i,
+			MACs: macs, MMemWords: weightWords,
+		}
+		cn := ConnReq{Name: name + ".m2c", Src: mem, Slots: bs, Words: weightWords}
+		if len(l.Tiles) == 1 {
+			t := l.Tiles[0]
+			cn.Dst = &t
+		} else {
+			cn.Dsts = append([]spec.Coord(nil), l.Tiles...)
+		}
+		bcast.Conns = append(bcast.Conns, cn)
+		phases = append(phases, bcast)
+
+		if i == len(d.Layers)-1 {
+			continue
+		}
+		next := d.Layers[i+1]
+		actWords := words(l.ActivationBytes, bpw)
+		perTile := (actWords + uint64(len(l.Tiles)) - 1) / uint64(len(l.Tiles))
+		as := l.ActivationSlots
+		if as == 0 {
+			as = 1
+		}
+		acts := Phase{Name: name + ".acts", Kind: "activation", Layer: i}
+		for j, src := range l.Tiles {
+			dst := next.Tiles[j%len(next.Tiles)]
+			if dst == src {
+				continue // same tile in both layers: activations stay local
+			}
+			dc := dst
+			acts.Conns = append(acts.Conns, ConnReq{
+				Name: fmt.Sprintf("%s.c2c%d", name, j),
+				Src:  src, Dst: &dc, Slots: as, Words: perTile,
+			})
+		}
+		if len(acts.Conns) > 0 {
+			phases = append(phases, acts)
+		}
+	}
+	return phases, nil
+}

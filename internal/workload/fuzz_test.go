@@ -1,0 +1,62 @@
+package workload
+
+// FuzzWorkloadSpec feeds arbitrary bytes through the pack parser and
+// compiler. The contract under fuzzing: malformed inputs — broken JSON,
+// unknown fields, out-of-range tile coordinates, zero-size transfers,
+// inadmissible layer graphs — must come back as errors, never as a
+// panic, a hang, or a compiled pack whose nominal demand over-reserves
+// an NI's slot wheel or channel file.
+
+import (
+	"bytes"
+	"testing"
+)
+
+func FuzzWorkloadSpec(f *testing.F) {
+	for _, s := range []*Spec{testDNNSpec(), testSwitchSpec()} {
+		blob, err := s.Marshal()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(blob)
+	}
+	f.Add([]byte(`{"kind":"dnn"}`))
+	f.Add([]byte(`{"kind":"dnn","mesh":{"width":2,"height":2},"dnn":{"memoryTiles":[{"x":0,"y":0}],"layers":[{"neurons":1,"tiles":[{"x":1,"y":1}],"weightBytes":0}]}}`))
+	f.Add([]byte(`{"kind":"dnn","mesh":{"width":2,"height":2},"dnn":{"memoryTiles":[{"x":9,"y":9}],"layers":[{"neurons":1,"tiles":[{"x":1,"y":1}],"weightBytes":4}]}}`))
+	f.Add([]byte(`{"kind":"switch","mesh":{"width":3,"height":3},"switch":{"pattern":"hotspot","slots":99}}`))
+	f.Add([]byte(`{"kind":"switch","mesh":{"width":4000,"height":4000},"switch":{}}`))
+	f.Add([]byte(`{"kind":"dnn","mesh":{"width":-1,"height":2},"dnn":{"memoryTiles":[],"layers":[]}}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Parse(bytes.NewReader(data))
+		if err != nil {
+			return // rejected: the only acceptable failure mode
+		}
+		c, err := Compile(s)
+		if err != nil {
+			return
+		}
+		// An accepted pack must hold the admissibility contract.
+		wheel, _, channels := s.Resolved()
+		for i := range c.Phases {
+			ph := &c.Phases[i]
+			if len(ph.Conns) == 0 {
+				t.Fatalf("compiled phase %s has no connections", ph.Name)
+			}
+			if err := checkPhaseDemand(ph, wheel, channels); err != nil {
+				t.Fatalf("compiled pack over-reserves: %v", err)
+			}
+			for _, cn := range ph.Conns {
+				if cn.Slots <= 0 {
+					t.Fatalf("phase %s conn %s compiled with %d slots", ph.Name, cn.Name, cn.Slots)
+				}
+				if cn.Words == 0 {
+					t.Fatalf("phase %s conn %s compiled with a zero-size transfer", ph.Name, cn.Name)
+				}
+				if (cn.Dst == nil) == (len(cn.Dsts) == 0) {
+					t.Fatalf("phase %s conn %s has neither unicast nor multicast endpoints", ph.Name, cn.Name)
+				}
+			}
+		}
+	})
+}

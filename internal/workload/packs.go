@@ -1,0 +1,63 @@
+package workload
+
+import "daelite/internal/spec"
+
+// ExampleDNN returns the canonical DNN inference pack used by the E23
+// experiment, the determinism soaks and examples/workloads/dnn.json: a
+// three-layer network mapped onto a 4x4 mesh with two memory tiles on
+// the top row feeding the weight broadcasts. The shapes are sized so the
+// broadcast and activation phases exercise multicast trees, multi-tile
+// fan-in and single-tile funnels while a full run stays under a second.
+func ExampleDNN() *Spec {
+	return &Spec{
+		Kind: "dnn",
+		Name: "dnn-3layer",
+		Seed: 2024,
+		Mesh: spec.MeshSpec{Width: 4, Height: 4},
+		DNN: &DNNSpec{
+			BytesPerWord: 4,
+			MemoryTiles:  []spec.Coord{{X: 0, Y: 0}, {X: 3, Y: 0}},
+			Layers: []LayerSpec{
+				{
+					Name: "conv1", Neurons: 64,
+					Tiles:       []spec.Coord{{X: 0, Y: 1}, {X: 1, Y: 1}, {X: 2, Y: 1}},
+					WeightBytes: 512, ActivationBytes: 256,
+				},
+				{
+					Name: "conv2", Neurons: 32,
+					Tiles:       []spec.Coord{{X: 1, Y: 2}, {X: 2, Y: 2}},
+					WeightBytes: 768, ActivationBytes: 128,
+				},
+				{
+					Name: "fc", Neurons: 10,
+					Tiles:       []spec.Coord{{X: 3, Y: 3}},
+					WeightBytes: 320,
+				},
+			},
+		},
+	}
+}
+
+// ExampleTinyTera returns the canonical switch-fabric pack for the given
+// traffic pattern ("uniform", "diagonal" or "hotspot"): a 4x4 mesh
+// modelling a 16-port fabric, VOQ connections carrying fixed-size cells,
+// with the hotspot variant funnelling half the admissible draws at one
+// egress. Used by the E24 experiment, the determinism soaks and
+// examples/workloads/tinytera.json.
+func ExampleTinyTera(pattern string) *Spec {
+	return &Spec{
+		Kind: "switch",
+		Name: "tinytera-" + pattern,
+		Seed: 4091,
+		Mesh: spec.MeshSpec{Width: 4, Height: 4},
+		Switch: &SwitchSpec{
+			Pattern:     pattern,
+			Conns:       12,
+			Slots:       1,
+			Cells:       8,
+			CellWords:   16,
+			Phases:      3,
+			HotspotFrac: 0.5,
+		},
+	}
+}

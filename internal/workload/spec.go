@@ -1,0 +1,265 @@
+// Package workload compiles application-level scenario descriptions —
+// DNN layer graphs and switch-fabric VOQ traffic matrices — into the
+// phase-structured connection requests and traffic schedules the paper's
+// TDM NoC was built to carry. A pack is a seeded, JSON-serializable spec
+// (an extension of internal/spec's platform description); compiling it
+// is deterministic, and running the compiled phases is simultaneously a
+// differential correctness test: the conformance model predicts per-link
+// occupancy, per-phase latency bounds and attained bandwidth in closed
+// form, and the runner checks the simulation against every prediction
+// while folding all observable behaviour into a bit-exact fingerprint.
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"daelite/internal/core"
+	"daelite/internal/spec"
+)
+
+// Spec is one scenario pack: a platform shape plus exactly one
+// application description selected by Kind.
+type Spec struct {
+	// Kind selects the pack family: "dnn" or "switch".
+	Kind string `json:"kind"`
+	// Name labels the pack in reports; defaults to Kind.
+	Name string `json:"name,omitempty"`
+	// Seed drives every random draw of the compiler (switch-matrix
+	// sampling, traffic payload seeds). A pack is a pure function of its
+	// spec, so equal specs compile and run identically.
+	Seed uint64 `json:"seed,omitempty"`
+	// Mesh, Params and Host describe the platform, exactly as in
+	// internal/spec.
+	Mesh   spec.MeshSpec   `json:"mesh"`
+	Params spec.ParamsSpec `json:"params,omitempty"`
+	Host   spec.Coord      `json:"host,omitempty"`
+	// DNN is the layer graph (Kind "dnn").
+	DNN *DNNSpec `json:"dnn,omitempty"`
+	// Switch is the VOQ traffic description (Kind "switch").
+	Switch *SwitchSpec `json:"switch,omitempty"`
+}
+
+// DNNSpec maps a feed-forward layer graph onto the mesh, nocnn-style:
+// weights stream from memory tiles to every consumer tile of a layer
+// (M2C multicast), activations stream tile-to-tile between consecutive
+// layers (C2C unicast).
+type DNNSpec struct {
+	// MemoryTiles hold the weights; layer l broadcasts from
+	// MemoryTiles[l % len(MemoryTiles)].
+	MemoryTiles []spec.Coord `json:"memoryTiles"`
+	// Layers in execution order.
+	Layers []LayerSpec `json:"layers"`
+	// BytesPerWord converts transfer sizes to NoC words (default 4).
+	BytesPerWord int `json:"bytesPerWord,omitempty"`
+}
+
+// LayerSpec is one layer of the graph.
+type LayerSpec struct {
+	Name string `json:"name,omitempty"`
+	// Neurons in the layer (must be positive; sizes compute work).
+	Neurons int `json:"neurons"`
+	// Tiles the layer is mapped onto; weights are broadcast to all of
+	// them, activations leave from all of them.
+	Tiles []spec.Coord `json:"tiles"`
+	// WeightBytes is the layer's total weight volume, broadcast from the
+	// memory tile to every consumer tile (M2C).
+	WeightBytes int `json:"weightBytes"`
+	// ActivationBytes is the layer's total output activation volume,
+	// sent tile-to-tile to the next layer (C2C). Required for every
+	// layer except the last, where it is ignored.
+	ActivationBytes int `json:"activationBytes,omitempty"`
+	// MACs is the layer's multiply-accumulate count, priced by the
+	// energy model; 0 defaults to Neurons × weight words.
+	MACs uint64 `json:"macs,omitempty"`
+	// BroadcastSlots / ActivationSlots are the TDM slots reserved per
+	// connection of the respective phase (default 1 each).
+	BroadcastSlots  int `json:"broadcastSlots,omitempty"`
+	ActivationSlots int `json:"activationSlots,omitempty"`
+}
+
+// SwitchSpec generates Tiny Tera-style virtual-output-queue traffic:
+// every NI is a switch port, and each phase opens an admissible
+// connection matrix — uniform, diagonal, or hotspotted — whose per-port
+// slot demand never exceeds the wheel, so any admission refusal is the
+// fabric's own path contention, not an inadmissible request.
+type SwitchSpec struct {
+	// Pattern fixes the matrix family: "uniform", "diagonal" or
+	// "hotspot". Empty cycles through all three, one per phase.
+	Pattern string `json:"pattern,omitempty"`
+	// Hotspot is the congested egress port (default: the last NI).
+	Hotspot *spec.Coord `json:"hotspot,omitempty"`
+	// HotspotFrac is the fraction of hotspot-phase connections aimed at
+	// the hotspot port, within its admissible capacity (default 0.5).
+	HotspotFrac float64 `json:"hotspotFrac,omitempty"`
+	// Conns is the connection count drawn per phase (default: one per
+	// port).
+	Conns int `json:"conns,omitempty"`
+	// Slots per connection (default 1).
+	Slots int `json:"slots,omitempty"`
+	// Cells per connection and words per cell size the bounded traffic
+	// each connection carries (defaults 8 cells × 16 words).
+	Cells     int `json:"cells,omitempty"`
+	CellWords int `json:"cellWords,omitempty"`
+	// Phases is the number of matrices to run (default 3, or 1 when
+	// Pattern is fixed).
+	Phases int `json:"phases,omitempty"`
+}
+
+// Parse reads and validates a pack spec from JSON. Unknown fields are
+// rejected, exactly as in internal/spec.
+func Parse(r io.Reader) (*Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("workload: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Marshal renders the pack spec as indented JSON.
+func (s *Spec) Marshal() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// platformSpec is the platform slice of the pack, as an internal/spec
+// description (no start-of-day connections; phases open their own).
+func (s *Spec) platformSpec() spec.Spec {
+	return spec.Spec{Mesh: s.Mesh, Params: s.Params, Host: s.Host}
+}
+
+// Resolved returns the effective wheel, slot-words and channel count
+// after parameter defaulting — the budgets the compiler's admissibility
+// accounting is checked against.
+func (s *Spec) Resolved() (wheel, slotWords, channels int) {
+	d := core.DefaultParams()
+	wheel, slotWords, channels = d.Wheel, d.SlotWords, d.NumChannels
+	if s.Params.Wheel != 0 {
+		wheel = s.Params.Wheel
+	}
+	if s.Params.SlotWords != 0 {
+		slotWords = s.Params.SlotWords
+	}
+	if s.Params.NumChannels != 0 {
+		channels = s.Params.NumChannels
+	}
+	return wheel, slotWords, channels
+}
+
+// Validate checks structural consistency without compiling anything:
+// platform shape, tile ranges, transfer sizes. The compiler additionally
+// enforces per-port admissibility (see Compile).
+func (s *Spec) Validate() error {
+	ps := s.platformSpec()
+	if err := ps.Validate(); err != nil {
+		return err
+	}
+	inRange := func(c spec.Coord) error {
+		probe := ps
+		probe.Connections = []spec.ConnectionSpec{{Src: c, Dst: &c, SlotsFwd: 1}}
+		return probe.Validate()
+	}
+	switch s.Kind {
+	case "dnn":
+		if s.DNN == nil {
+			return fmt.Errorf("workload: kind dnn requires a dnn section")
+		}
+		if s.Switch != nil {
+			return fmt.Errorf("workload: kind dnn must not carry a switch section")
+		}
+		return s.DNN.validate(inRange)
+	case "switch":
+		if s.Switch == nil {
+			return fmt.Errorf("workload: kind switch requires a switch section")
+		}
+		if s.DNN != nil {
+			return fmt.Errorf("workload: kind switch must not carry a dnn section")
+		}
+		return s.Switch.validate(inRange)
+	default:
+		return fmt.Errorf("workload: unknown pack kind %q", s.Kind)
+	}
+}
+
+func (d *DNNSpec) validate(inRange func(spec.Coord) error) error {
+	if len(d.MemoryTiles) == 0 {
+		return fmt.Errorf("workload: dnn needs at least one memory tile")
+	}
+	if d.BytesPerWord < 0 {
+		return fmt.Errorf("workload: bytesPerWord must be non-negative")
+	}
+	for i, m := range d.MemoryTiles {
+		if err := inRange(m); err != nil {
+			return fmt.Errorf("workload: memory tile %d: %w", i, err)
+		}
+	}
+	if len(d.Layers) == 0 {
+		return fmt.Errorf("workload: dnn needs at least one layer")
+	}
+	for i, l := range d.Layers {
+		name := l.Name
+		if name == "" {
+			name = fmt.Sprintf("layer%d", i)
+		}
+		if l.Neurons <= 0 {
+			return fmt.Errorf("workload: %s: neurons must be positive", name)
+		}
+		if len(l.Tiles) == 0 {
+			return fmt.Errorf("workload: %s: needs at least one tile", name)
+		}
+		if l.WeightBytes <= 0 {
+			return fmt.Errorf("workload: %s: weightBytes must be positive (zero-size transfers are invalid)", name)
+		}
+		if l.ActivationBytes < 0 {
+			return fmt.Errorf("workload: %s: activationBytes must be non-negative", name)
+		}
+		if i < len(d.Layers)-1 && l.ActivationBytes == 0 {
+			return fmt.Errorf("workload: %s: activationBytes must be positive before another layer (zero-size transfers are invalid)", name)
+		}
+		if l.BroadcastSlots < 0 || l.ActivationSlots < 0 {
+			return fmt.Errorf("workload: %s: slot counts must be non-negative", name)
+		}
+		seen := map[spec.Coord]bool{}
+		for j, tl := range l.Tiles {
+			if err := inRange(tl); err != nil {
+				return fmt.Errorf("workload: %s tile %d: %w", name, j, err)
+			}
+			if seen[tl] {
+				return fmt.Errorf("workload: %s: duplicate tile (%d,%d,%d)", name, tl.X, tl.Y, tl.NI)
+			}
+			seen[tl] = true
+		}
+	}
+	return nil
+}
+
+func (w *SwitchSpec) validate(inRange func(spec.Coord) error) error {
+	switch w.Pattern {
+	case "", "uniform", "diagonal", "hotspot":
+	default:
+		return fmt.Errorf("workload: unknown switch pattern %q", w.Pattern)
+	}
+	if w.Hotspot != nil {
+		if err := inRange(*w.Hotspot); err != nil {
+			return fmt.Errorf("workload: hotspot: %w", err)
+		}
+	}
+	if w.HotspotFrac < 0 || w.HotspotFrac > 1 {
+		return fmt.Errorf("workload: hotspotFrac %v outside [0,1]", w.HotspotFrac)
+	}
+	if w.Conns < 0 || w.Slots < 0 || w.Cells < 0 || w.CellWords < 0 || w.Phases < 0 {
+		return fmt.Errorf("workload: switch counts must be non-negative")
+	}
+	if w.Phases > 256 {
+		return fmt.Errorf("workload: %d phases exceed the 256-phase cap", w.Phases)
+	}
+	if w.Conns > 4096 {
+		return fmt.Errorf("workload: %d connections per phase exceed the 4096 cap", w.Conns)
+	}
+	return nil
+}

@@ -1,0 +1,192 @@
+package workload
+
+import (
+	"fmt"
+
+	"daelite/internal/sim"
+	"daelite/internal/spec"
+)
+
+// compileSwitch draws Tiny Tera-style VOQ matrices over the mesh's NIs.
+// Every draw respects the per-port slot and channel budgets — the
+// nominal matrix is always doubly substochastic (admissible) — so the
+// hotspot phases load one egress port to its admissible limit without
+// ever requesting more than the port can carry. Any nofit the allocator
+// then reports is contention on the fabric's interior links, which is
+// exactly the acceptance behaviour E24 measures.
+func compileSwitch(s *Spec) ([]Phase, error) {
+	w := s.Switch
+	if n := s.portCount(); n < 2 {
+		return nil, fmt.Errorf("workload: switch pack needs at least 2 ports, mesh has %d", n)
+	} else if n > 4096 {
+		return nil, fmt.Errorf("workload: %d ports exceed the 4096-port cap", n)
+	}
+	ports := s.ports()
+	wheel, _, channels := s.Resolved()
+	nph := w.Phases
+	if nph == 0 {
+		nph = 3
+		if w.Pattern != "" {
+			nph = 1
+		}
+	}
+	conns := w.Conns
+	if conns == 0 {
+		conns = len(ports)
+	}
+	slots := w.Slots
+	if slots == 0 {
+		slots = 1
+	}
+	cells := w.Cells
+	if cells == 0 {
+		cells = 8
+	}
+	cellWords := w.CellWords
+	if cellWords == 0 {
+		cellWords = 16
+	}
+	if slots > wheel {
+		return nil, fmt.Errorf("workload: switch slots %d exceed the %d-slot wheel", slots, wheel)
+	}
+	frac := w.HotspotFrac
+	if frac == 0 {
+		frac = 0.5
+	}
+	hot := len(ports) - 1
+	if w.Hotspot != nil {
+		hot = -1
+		for i, c := range ports {
+			if c == *w.Hotspot {
+				hot = i
+				break
+			}
+		}
+		if hot < 0 {
+			return nil, fmt.Errorf("workload: hotspot (%d,%d,%d) is not a port", w.Hotspot.X, w.Hotspot.Y, w.Hotspot.NI)
+		}
+	}
+
+	rng := sim.NewRNG(s.Seed ^ 0x746e79746572615f) // "tinytera"-flavoured stream
+	var phases []Phase
+	for p := 0; p < nph; p++ {
+		pattern := w.Pattern
+		if pattern == "" {
+			pattern = []string{"uniform", "diagonal", "hotspot"}[p%3]
+		}
+		ph := Phase{Name: fmt.Sprintf("%s#%d", pattern, p), Kind: pattern, Layer: -1}
+
+		// Per-port budget tracking: a draw is only admitted if both its
+		// endpoints keep their slot and channel budgets (including the
+		// unicast reverse credit slot at each side).
+		tx := make([]int, len(ports))
+		rx := make([]int, len(ports))
+		txCh := make([]int, len(ports))
+		rxCh := make([]int, len(ports))
+		admit := func(src, dst int) bool {
+			if src == dst {
+				return false
+			}
+			if tx[src]+slots > wheel || rx[src]+1 > wheel {
+				return false
+			}
+			if rx[dst]+slots > wheel || tx[dst]+1 > wheel {
+				return false
+			}
+			if txCh[src]+1 > channels || rxCh[dst]+1 > channels {
+				return false
+			}
+			return true
+		}
+		add := func(src, dst int) {
+			tx[src] += slots
+			rx[src]++
+			rx[dst] += slots
+			tx[dst]++
+			txCh[src]++
+			rxCh[dst]++
+			d := ports[dst]
+			ph.Conns = append(ph.Conns, ConnReq{
+				Name: fmt.Sprintf("%s.voq%d", ph.Name, len(ph.Conns)),
+				Src:  ports[src], Dst: &d, Slots: slots, Words: uint64(cells * cellWords),
+			})
+		}
+
+		switch pattern {
+		case "diagonal":
+			// Port i talks to port i+shift: a permutation matrix, the
+			// easiest admissible load and the fairest one.
+			shift := 1 + p%(len(ports)-1)
+			for i := range ports {
+				if len(ph.Conns) >= conns {
+					break
+				}
+				if j := (i + shift) % len(ports); admit(i, j) {
+					add(i, j)
+				}
+			}
+		default:
+			// uniform and hotspot draw randomly under the budgets; a
+			// hotspot draw aims at the hot port first and falls back to
+			// uniform once the hot port's admissible capacity is filled.
+			for tries := 0; len(ph.Conns) < conns && tries < 64*conns; tries++ {
+				src := rng.Intn(len(ports))
+				dst := rng.Intn(len(ports))
+				if pattern == "hotspot" && rng.Float64() < frac {
+					if admit(src, hot) {
+						add(src, hot)
+						continue
+					}
+				}
+				if admit(src, dst) {
+					add(src, dst)
+				}
+			}
+		}
+		if len(ph.Conns) == 0 {
+			return nil, fmt.Errorf("workload: phase %s drew no admissible connections", ph.Name)
+		}
+		phases = append(phases, ph)
+	}
+	return phases, nil
+}
+
+// shape returns the effective port-grid dimensions after defaulting.
+func (s *Spec) shape() (width, height, nis int) {
+	width, height = s.Mesh.Width, s.Mesh.Height
+	if s.Mesh.Kind == "ring" || s.Mesh.Kind == "spidergon" {
+		height = 1
+	}
+	nis = s.Mesh.NIsPerRouter
+	if nis < 1 {
+		nis = 1
+	}
+	return width, height, nis
+}
+
+// portCount sizes the port grid without materializing it, guarding the
+// enumeration against absurd meshes (overflow-safe for validated specs).
+func (s *Spec) portCount() int {
+	width, height, nis := s.shape()
+	if width > 4096 || height > 4096 || nis > 4096 {
+		return 4097
+	}
+	if n := width * height; n > 4096 || n*nis > 4096 {
+		return 4097
+	}
+	return width * height * nis
+}
+
+// ports enumerates every NI of the mesh in row-major order.
+func (s *Spec) ports() []spec.Coord {
+	width, height, nis := s.shape()
+	var out []spec.Coord
+	for y := 0; y < height; y++ {
+		for x := 0; x < width; x++ {
+			for k := 0; k < nis; k++ {
+				out = append(out, spec.Coord{X: x, Y: y, NI: k})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,55 @@
+package daelite
+
+// The checked-in example packs under examples/workloads/ are the files
+// the -workload CLI modes and the CI workloads job run; this test pins
+// them to the in-tree constructors so they cannot rot: each file must
+// parse, compile, and compile to exactly what the constructor compiles
+// to (same platform description, same phase schedule).
+
+import (
+	"os"
+	"reflect"
+	"testing"
+
+	"daelite/internal/workload"
+)
+
+func TestExamplePackFilesMatchConstructors(t *testing.T) {
+	cases := []struct {
+		path string
+		want *workload.Spec
+	}{
+		{"examples/workloads/dnn.json", workload.ExampleDNN()},
+		{"examples/workloads/tinytera.json", workload.ExampleTinyTera("hotspot")},
+	}
+	for _, tc := range cases {
+		t.Run(tc.path, func(t *testing.T) {
+			f, err := os.Open(tc.path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			got, err := workload.Parse(f)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			gc, err := workload.Compile(got)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			wc, err := workload.Compile(tc.want)
+			if err != nil {
+				t.Fatalf("compile constructor: %v", err)
+			}
+			if gc.Name() != wc.Name() {
+				t.Fatalf("pack name %q, constructor says %q", gc.Name(), wc.Name())
+			}
+			if !reflect.DeepEqual(gc.Platform, wc.Platform) {
+				t.Errorf("platform description diverged from the constructor's")
+			}
+			if !reflect.DeepEqual(gc.Phases, wc.Phases) {
+				t.Errorf("phase schedule diverged from the constructor's")
+			}
+		})
+	}
+}
